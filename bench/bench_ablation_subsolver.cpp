@@ -1,0 +1,111 @@
+// Ablation of the subdomain-solver quality (paper §2.4: "quality of
+// subdomain solver (fill level, number of sweeps)") and of the
+// matrix-free choice. All REAL psi-NKS solves on the wing flow:
+//  * ILU(0/1/2) vs SSOR(1/2/3 sweeps) as the Schwarz subdomain solve;
+//  * matrix-free FD Jacobian action vs the assembled first-order
+//    Jacobian as the Krylov operator.
+//
+// Usage: bench_ablation_subsolver [-vertices 6000]
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cfd/problem.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "solver/newton.hpp"
+
+namespace {
+
+using namespace f3d;
+
+struct RunResult {
+  int steps;
+  long long its;
+  double seconds;
+  bool converged;
+};
+
+RunResult run(const mesh::UnstructuredMesh& mesh,
+              const solver::PtcOptions& popts) {
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  Timer t;
+  auto res = solver::ptc_solve(prob, x, popts);
+  return {res.steps, res.total_linear_iterations, t.seconds(), res.converged};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 6000);
+  auto mesh = benchutil::make_ordered_wing(vertices);
+
+  benchutil::print_header(
+      "Ablation - subdomain solver quality and matrix-free choice",
+      "paper 2.4: fill level / number of sweeps as the subproblem knobs; "
+      "the Jacobian itself is never explicitly needed");
+
+  solver::PtcOptions base;
+  base.cfl0 = 10.0;
+  base.rtol = 1e-8;
+  base.max_steps = 60;
+  base.num_subdomains = 8;
+  std::printf("mesh: %d vertices; 8 subdomains, block Jacobi composition\n\n",
+              mesh.num_vertices());
+
+  {
+    std::printf("subdomain solver (same Schwarz composition):\n");
+    Table t({"subdomain solve", "steps", "linear its", "time", "converged"});
+    for (int fill : {0, 1, 2}) {
+      auto o = base;
+      o.schwarz.subdomain_solver = solver::SubdomainSolver::kIlu;
+      o.schwarz.fill_level = fill;
+      auto r = run(mesh, o);
+      t.add_row({"ILU(" + std::to_string(fill) + ")",
+                 Table::num(static_cast<long long>(r.steps)),
+                 Table::num(r.its), Table::num(r.seconds, 2) + "s",
+                 r.converged ? "yes" : "NO"});
+    }
+    for (int sweeps : {1, 2, 3}) {
+      auto o = base;
+      o.schwarz.subdomain_solver = solver::SubdomainSolver::kSsor;
+      o.schwarz.sweeps = sweeps;
+      auto r = run(mesh, o);
+      t.add_row({"SSOR(" + std::to_string(sweeps) + ")",
+                 Table::num(static_cast<long long>(r.steps)),
+                 Table::num(r.its), Table::num(r.seconds, 2) + "s",
+                 r.converged ? "yes" : "NO"});
+    }
+    t.print();
+  }
+  {
+    std::printf("\nKrylov operator (ILU(1) subdomains):\n");
+    Table t({"operator", "steps", "linear its", "time", "converged"});
+    for (bool mf : {true, false}) {
+      auto o = base;
+      o.schwarz.fill_level = 1;
+      o.matrix_free = mf;
+      auto r = run(mesh, o);
+      t.add_row({mf ? "matrix-free FD (paper)" : "assembled 1st-order",
+                 Table::num(static_cast<long long>(r.steps)),
+                 Table::num(r.its), Table::num(r.seconds, 2) + "s",
+                 r.converged ? "yes" : "NO"});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nShape check: ILU(1) is the sweet spot (paper Table 4); SSOR needs\n"
+      "2+ sweeps to be competitive and costs more matvec-equivalents per\n"
+      "apply; the assembled operator saves flux evaluations per iteration\n"
+      "but converges the nonlinear problem more slowly (first-order\n"
+      "operator for a second-order... here first-order residual, so it\n"
+      "mainly shows the per-iteration cost contrast).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figure 1: average vertices per processor and five parallel
+// performance metrics for the fixed-size 2.8M-vertex problem on up to
+// 3072 ASCI Red nodes (block Jacobi + ILU preconditioning).
+//
+// Real ingredients: iteration-growth exponent and partition surface law
+// measured on the host mesh; hardware side from the ASCI Red virtual
+// machine. The five metrics mirror the figure: execution time, speedup,
+// implementation efficiency (eta_impl, per-step), overall efficiency,
+// and aggregate Gflop/s.
+//
+// Usage: bench_fig1_asci_red [-vertices 12000] [-steps 4]
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "par/stepmodel.hpp"
+#include "perf/machine.hpp"
+
+namespace {
+using namespace f3d;
+}
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 12000);
+  const int steps = opts.get_int("steps", 4);
+
+  benchutil::print_header(
+      "Figure 1 - parallel metrics vs nodes, ASCI Red, 2.8M vertices",
+      "paper Fig 1: 91% implementation efficiency 256->2048; 156 Gflop/s "
+      "on 2048 nodes with -procs 2, 227 Gflop/s on 3072");
+
+  auto mesh = benchutil::make_ordered_wing(vertices);
+  std::printf("calibration mesh: %d vertices\n", mesh.num_vertices());
+
+  // Real algorithmic calibration.
+  solver::SchwarzOptions so;
+  so.type = solver::SchwarzType::kBlockJacobi;
+  so.fill_level = 0;  // Fig 1 used ILU(0)
+  std::vector<std::pair<int, double>> its;
+  for (int p : {8, 16, 32, 64})
+    its.push_back({p, benchutil::probe_nks(mesh, p, so, steps)
+                          .linear_its_per_step});
+  const double alpha = benchutil::fit_iteration_growth(its);
+  const double its8 = its.front().second;
+  auto law = benchutil::measure_surface_law(mesh, {8, 16, 32, 64});
+  std::printf("measured: its/step ~ P^%.3f, ghosts ~ %.1f v^(2/3)\n\n", alpha,
+              law.ghost_coeff);
+
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  auto work = benchutil::calibrate_work(disc, so.fill_level, false);
+
+  const double paper_nv = 2.8e6;
+  auto machine = perf::asci_red();
+  const int nodes_list[] = {128, 256, 512, 1024, 2048, 3072};
+
+  std::vector<par::ScalingPoint> points;
+  std::vector<double> gflops1, gflops2;
+  for (int nodes : nodes_list) {
+    par::StepCounts counts;
+    counts.linear_its = its8 * std::pow(nodes / 8.0, alpha);
+    auto load = par::synthesize_load(paper_nv, nodes, law);
+    auto b1 = par::model_step(machine, load, work, counts,
+                              par::NodeMode::kMpi1);
+    // The paper's "-procs 2": hybrid threading of the flux phase only.
+    auto b2 = par::model_step(machine, load, work, counts,
+                              par::NodeMode::kHybridOmp2);
+    points.push_back({nodes, counts.linear_its, b1.total() * 20.0});
+    gflops1.push_back(b1.gflops());
+    gflops2.push_back(b2.gflops());
+  }
+  auto eff = par::efficiency_decomposition(points);
+
+  Table t({"Nodes", "Verts/node", "Time(20 steps)", "Speedup", "eta_overall",
+           "eta_impl", "Gflop/s", "Gflop/s(-procs 2)"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    t.add_row({Table::num(static_cast<long long>(points[i].procs)),
+               Table::num(static_cast<long long>(
+                   static_cast<long long>(paper_nv) / points[i].procs)),
+               Table::num(points[i].time, 0) + "s",
+               Table::num(eff[i].speedup, 2), Table::num(eff[i].eta_overall, 2),
+               Table::num(eff[i].eta_impl, 2), Table::num(gflops1[i], 0),
+               Table::num(gflops2[i], 0)});
+  }
+  t.print();
+
+  // Paper checkpoints.
+  double eta_impl_256 = 0, eta_impl_2048 = 0, gf2048 = 0, gf2048_2 = 0,
+         gf3072_2 = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].procs == 256) eta_impl_256 = eff[i].eta_impl;
+    if (points[i].procs == 2048) {
+      eta_impl_2048 = eff[i].eta_impl;
+      gf2048 = gflops1[i];
+      gf2048_2 = gflops2[i];
+    }
+    if (points[i].procs == 3072) gf3072_2 = gflops2[i];
+  }
+  std::printf("\nimplementation efficiency 256 -> 2048 nodes: %.0f%% "
+              "(paper: 91%%)\n",
+              100.0 * eta_impl_2048 / eta_impl_256);
+  std::printf("Gflop/s on 2048 nodes: %.0f single / %.0f hybrid = +%.0f%% "
+              "(paper: 156 hybrid, +30%%)\n",
+              gf2048, gf2048_2, 100.0 * (gf2048_2 / gf2048 - 1.0));
+  std::printf("Gflop/s on 3072 nodes (hybrid): %.0f (paper: 227)\n", gf3072_2);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Figure 2: aggregate Gflop/s and execution time (log-log
+// against ideal scaling) for the 2.8M-vertex case on ASCI Red, Blue
+// Pacific, and the Cray T3E. Same calibration pipeline as Figure 1; the
+// three machine-parameter models provide the hardware contrast the
+// figure shows (T3E fastest per PE at low counts, Red scaling furthest).
+//
+// Usage: bench_fig2_machines [-vertices 12000] [-steps 4]
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "par/stepmodel.hpp"
+#include "perf/machine.hpp"
+
+namespace {
+using namespace f3d;
+}
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 12000);
+  const int steps = opts.get_int("steps", 4);
+
+  benchutil::print_header(
+      "Figure 2 - Gflop/s and execution time on Red / Blue Pacific / T3E",
+      "paper Fig 2: log-log scaling of the 2.8M-vertex case with ideal "
+      "lines; ASCI Red scales to 3072 nodes");
+
+  auto mesh = benchutil::make_ordered_wing(vertices);
+  solver::SchwarzOptions so;
+  so.type = solver::SchwarzType::kBlockJacobi;
+  so.fill_level = 0;
+  std::vector<std::pair<int, double>> its;
+  for (int p : {8, 16, 32, 64})
+    its.push_back(
+        {p, benchutil::probe_nks(mesh, p, so, steps).linear_its_per_step});
+  const double alpha = benchutil::fit_iteration_growth(its);
+  const double its8 = its.front().second;
+  auto law = benchutil::measure_surface_law(mesh, {8, 16, 32, 64});
+
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  auto work = benchutil::calibrate_work(disc, so.fill_level, false);
+
+  const double paper_nv = 2.8e6;
+  const int nodes_list[] = {64, 128, 256, 512, 768, 1024, 2048, 3072};
+
+  for (const auto& machine :
+       {perf::asci_red(), perf::blue_pacific(), perf::cray_t3e()}) {
+    std::printf("\n%s (max %d nodes):\n", machine.name.c_str(),
+                machine.max_nodes);
+    Table t({"Nodes", "Gflop/s", "ideal Gflop/s", "Time(20 steps)",
+             "ideal time"});
+    double base_gf = 0, base_time = 0;
+    int base_nodes = 0;
+    for (int nodes : nodes_list) {
+      if (nodes > machine.max_nodes) continue;
+      par::StepCounts counts;
+      counts.linear_its = its8 * std::pow(nodes / 8.0, alpha);
+      auto load = par::synthesize_load(paper_nv, nodes, law);
+      auto b = par::model_step(machine, load, work, counts);
+      const double gf = b.gflops();
+      const double time = b.total() * 20.0;
+      if (base_nodes == 0) {
+        base_nodes = nodes;
+        base_gf = gf;
+        base_time = time;
+      }
+      t.add_row({Table::num(static_cast<long long>(nodes)),
+                 Table::num(gf, 1),
+                 Table::num(base_gf * nodes / base_nodes, 1),
+                 Table::num(time, 0) + "s",
+                 Table::num(base_time * base_nodes / nodes, 0) + "s"});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nShape check (paper): Gflop/s tracks the ideal line closely on Red\n"
+      "and T3E while execution time falls away from ideal (iteration growth\n"
+      "adds redundant work); T3E has the highest per-PE rate, Red reaches\n"
+      "the highest aggregate by scaling to 3072 nodes.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Reproduces Figure 3: TLB misses (log scale in the paper) and secondary
+// (L2) cache misses for the layout configurations, measured on one
+// Origin 2000 R10000 with hardware counters in the paper — here with the
+// trace-driven cache/TLB simulator configured to R10000-like geometry
+// (32 KB 2-way L1 / 4 MB 2-way L2 with 128 B lines / 64-entry TLB).
+//
+// Workload per configuration: one first-order flux evaluation plus one
+// Jacobian SpMV on the 22,677-vertex wing mesh (the paper's case).
+// Configurations mirror Figure 3's bars: NOER (no edge reordering, i.e.
+// colored vector-machine order on a shuffled mesh) vs reordered, crossed
+// with interlacing and blocking.
+//
+// Usage: bench_fig3_cache_tlb [-vertices 22677]
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cfd/euler.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "mesh/ordering.hpp"
+#include "simcache/traced_kernels.hpp"
+#include "sparse/assembly.hpp"
+
+namespace {
+
+using namespace f3d;
+
+struct Counts {
+  std::uint64_t tlb = 0;
+  std::uint64_t l2 = 0;
+};
+
+Counts run_config(const mesh::UnstructuredMesh& mesh, bool interlace,
+                  bool blocking) {
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfg.layout = interlace ? sparse::FieldLayout::kInterlaced
+                         : sparse::FieldLayout::kNonInterlaced;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  const int nb = cfg.nb();
+
+  auto stencil = sparse::stencil_from_mesh(mesh);
+  auto values = sparse::synthetic_values(stencil);
+
+  auto q = disc.make_freestream_field();
+  std::vector<double> r, grad, phi;
+  disc.gradients(q, grad);
+  disc.limiters(q, grad, phi);
+
+  simcache::MemoryTracer tracer;  // R10000-like defaults
+  // Warm run then counted run, so cold (compulsory) misses don't swamp
+  // the layout-dependent conflict/capacity misses Fig 3 contrasts. Two
+  // second-order flux evaluations per counted step, like a real step.
+  auto flux = [&] {
+    simcache::traced_flux_second_order(mesh, disc.dual(), cfg, q, grad, phi,
+                                       r, tracer);
+  };
+  flux();
+  std::vector<double> x(static_cast<std::size_t>(stencil.n) * nb, 1.0);
+  std::vector<double> y(x.size());
+
+  if (blocking) {
+    auto a = sparse::build_bcsr(stencil, nb, values);
+    simcache::traced_spmv_bcsr(a, x.data(), y.data(), tracer);
+    tracer.reset_counters();
+    flux();
+    simcache::traced_spmv_bcsr(a, x.data(), y.data(), tracer);
+    flux();
+  } else {
+    auto a = sparse::build_point_csr(stencil, nb, values, cfg.layout);
+    simcache::traced_spmv_csr(a, x.data(), y.data(), tracer);
+    tracer.reset_counters();
+    flux();
+    simcache::traced_spmv_csr(a, x.data(), y.data(), tracer);
+    flux();
+  }
+  return Counts{tracer.tlb().misses(), tracer.l2().misses()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 22677);
+
+  benchutil::print_header(
+      "Figure 3 - TLB and secondary cache misses by data layout",
+      "paper Fig 3: R10000 hardware counters, 22,677-vertex case; edge "
+      "reordering cuts TLB misses ~100x, L2 misses ~3.5x");
+
+  auto noer = benchutil::make_shuffled_wing(vertices);
+  noer.permute_edges(mesh::edge_order_colored(noer));
+  auto ordered = benchutil::make_shuffled_wing(vertices);
+  mesh::apply_best_ordering(ordered);
+  std::printf("mesh: %d vertices, %d edges\n", noer.num_vertices(),
+              noer.num_edges());
+  std::printf("simulated hierarchy: 32KB/2-way L1, 4MB/2-way L2 (128B "
+              "lines), 64-entry TLB (4KB pages)\n");
+
+  struct Row {
+    const char* name;
+    bool reorder, interlace, blocking;
+  };
+  const Row rows[] = {
+      {"NOER noninterlaced", false, false, false},
+      {"NOER interlaced", false, true, false},
+      {"NOER interlaced+blocked", false, true, true},
+      {"Reordered noninterlaced", true, false, false},
+      {"Reordered interlaced", true, true, false},
+      {"Reordered interlaced+blocked", true, true, true},
+  };
+
+  Table table({"Configuration", "TLB misses", "L2 misses"});
+  std::uint64_t tlb0 = 0, l20 = 0, tlb_best = 0, l2_best = 0;
+  for (const auto& row : rows) {
+    auto c = run_config(row.reorder ? ordered : noer, row.interlace,
+                        row.blocking);
+    if (!row.reorder && !row.interlace && !row.blocking) {
+      tlb0 = c.tlb;
+      l20 = c.l2;
+    }
+    if (row.reorder && row.interlace && row.blocking) {
+      tlb_best = c.tlb;
+      l2_best = c.l2;
+    }
+    table.add_row({row.name, Table::num(static_cast<long long>(c.tlb)),
+                   Table::num(static_cast<long long>(c.l2))});
+  }
+  table.print();
+  // 3C decomposition for the two extreme configs — the direct check of
+  // the paper's Eq. 1/2 *conflict*-miss framing. Eq. 1's regime needs the
+  // gathered-vector span to exceed the cache (at the paper's 2.8M-vertex
+  // scale the non-interlaced span is ~90 MB >> 4 MB); to exhibit it at
+  // host scale we classify against a proportionally smaller 256 KB
+  // 2-way cache, so span(non-interlaced) > C > span(interlaced).
+  std::printf("\n3C decomposition of vector-gather misses (SpMV against a "
+              "scaled 256KB 2-way cache):\n");
+  {
+    auto classify = [&](const mesh::UnstructuredMesh& mm, bool interlace) {
+      cfd::FlowConfig cfg2;
+      cfg2.model = cfd::Model::kIncompressible;
+      cfg2.layout = interlace ? sparse::FieldLayout::kInterlaced
+                              : sparse::FieldLayout::kNonInterlaced;
+      auto st = sparse::stencil_from_mesh(mm);
+      auto vals = sparse::synthetic_values(st);
+      auto a = sparse::build_point_csr(st, 4, vals, cfg2.layout);
+      std::vector<double> xx(static_cast<std::size_t>(a.n), 1.0), yy(xx.size());
+      simcache::CacheModel l2(256 * 1024, 128, 2, /*classify=*/true);
+      // Trace only the x-gathers and y-writes: Eq. 1/2 bound the misses of
+      // the *vector* working set; the matrix stream is compulsory traffic
+      // in every layout.
+      struct VecOnly {
+        simcache::CacheModel* c;
+        const double* lo;
+        const double* hi;
+        void touch(const void* p, std::size_t bytes) {
+          if (p < static_cast<const void*>(lo) ||
+              p >= static_cast<const void*>(hi))
+            return;
+          auto addr = reinterpret_cast<std::uint64_t>(p);
+          for (std::uint64_t q = addr & ~127ull; q <= addr + bytes - 1;
+               q += 128)
+            c->access(q);
+        }
+      } tracer{&l2, xx.data(), xx.data() + xx.size()};
+      simcache::traced_spmv_csr(a, xx.data(), yy.data(), tracer);  // warm
+      l2.reset_counters();
+      simcache::traced_spmv_csr(a, xx.data(), yy.data(), tracer);
+      return l2;
+    };
+    Table t3({"Config", "compulsory", "capacity", "conflict"});
+    auto worst = classify(noer, false);
+    auto best = classify(ordered, true);
+    t3.add_row({"NOER noninterlaced",
+                Table::num(static_cast<long long>(worst.compulsory_misses())),
+                Table::num(static_cast<long long>(worst.capacity_misses())),
+                Table::num(static_cast<long long>(worst.conflict_misses()))});
+    t3.add_row({"Reordered interlaced",
+                Table::num(static_cast<long long>(best.compulsory_misses())),
+                Table::num(static_cast<long long>(best.capacity_misses())),
+                Table::num(static_cast<long long>(best.conflict_misses()))});
+    t3.print();
+  }
+
+  std::printf("\nworst/best TLB miss ratio: %.1fx (paper: ~2 orders of "
+              "magnitude)\n",
+              tlb_best ? static_cast<double>(tlb0) / tlb_best : 0.0);
+  std::printf("worst/best L2 miss ratio:  %.1fx (paper: ~3.5x from edge "
+              "reordering)\n",
+              l2_best ? static_cast<double>(l20) / l2_best : 0.0);
+  return 0;
+}

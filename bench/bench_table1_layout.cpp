@@ -1,0 +1,162 @@
+// Reproduces Table 1: execution time per pseudo-timestep for the six
+// combinations of the three data-layout enhancements — field interlacing,
+// structural blocking, edge (+vertex) reordering — for both the
+// incompressible (nb=4) and compressible (nb=5) Euler workloads.
+//
+// The paper timed the whole code on one 250 MHz R10000; we time the same
+// composition of kernels one pseudo-timestep executes: two second-order
+// residual evaluations (function + matrix-free action), one preconditioner
+// refresh (value fill + ILU(0) factorization), and 20 Krylov iterations'
+// worth of SpMV + triangular solves. Absolute times are host-specific;
+// the paper's claim under reproduction is the *ratio* column (up to 5.7x).
+//
+// Usage: bench_table1_layout [-vertices 22677] [-its 20] [-reps auto]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cfd/euler.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "mesh/ordering.hpp"
+#include "sparse/assembly.hpp"
+#include "sparse/ilu.hpp"
+
+namespace {
+
+using namespace f3d;
+
+struct Config {
+  bool interlace;
+  bool blocking;
+  bool reorder;
+  const char* label;
+};
+
+constexpr Config kConfigs[] = {
+    {false, false, false, " .    .    . "},
+    {true, false, false, " x    .    . "},
+    {true, true, false, " x    x    . "},
+    {false, false, true, " .    .    x "},
+    {true, false, true, " x    .    x "},
+    {true, true, true, " x    x    x "},
+};
+
+// Paper Table 1 reference values (250 MHz R10000).
+constexpr double kPaperIncomp[] = {83.6, 36.1, 29.0, 29.2, 23.4, 16.9};
+constexpr double kPaperComp[] = {140.0, 57.5, 43.1, 59.1, 35.7, 24.5};
+
+double time_step(const mesh::UnstructuredMesh& mesh, cfd::Model model,
+                 bool interlace, bool blocking, int linear_its, int reps) {
+  cfd::FlowConfig cfg;
+  cfg.model = model;
+  cfg.order = 2;
+  cfg.layout = interlace ? sparse::FieldLayout::kInterlaced
+                         : sparse::FieldLayout::kNonInterlaced;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  const int nb = cfg.nb();
+
+  auto q = disc.make_freestream_field();
+  std::vector<double> r;
+
+  // Matrix with the Jacobian's sparsity in the matching format/layout;
+  // synthetic values keep the fill identical (and stable for ILU) across
+  // configurations so only layout effects are timed.
+  auto stencil = sparse::stencil_from_mesh(mesh);
+  auto values = sparse::synthetic_values(stencil);
+
+  sparse::Bcsr<double> ab;
+  sparse::Csr<double> ap;
+  sparse::IluPattern pat;
+  if (blocking) {
+    ab = sparse::build_bcsr(stencil, nb, values);
+    pat = sparse::ilu_symbolic(ab, 0);
+  } else {
+    ap = sparse::build_point_csr(stencil, nb, values, cfg.layout);
+    pat = sparse::ilu_symbolic(ap, 0);
+  }
+
+  std::vector<double> x(static_cast<std::size_t>(stencil.n) * nb, 1.0);
+  std::vector<double> y(x.size());
+
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer t;
+    // Two residual evaluations per step (function + matrix-free action).
+    disc.residual(q, r);
+    disc.residual(q, r);
+    // Preconditioner refresh (refactorization) + Krylov loop kernels.
+    if (blocking) {
+      auto f = sparse::ilu_factor_block<double>(ab, pat);
+      for (int k = 0; k < linear_its; ++k) {
+        ab.spmv(x.data(), y.data());
+        f.solve(y.data(), x.data());
+      }
+    } else {
+      auto f = sparse::ilu_factor_point<double>(ap, pat);
+      for (int k = 0; k < linear_its; ++k) {
+        ap.spmv(x.data(), y.data());
+        f.solve(y.data(), x.data());
+      }
+    }
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 22677);
+  const int linear_its = opts.get_int("its", 20);
+  const int reps = opts.get_int("reps", 3);
+
+  benchutil::print_header(
+      "Table 1 - layout enhancements (interlacing / blocking / reordering)",
+      "paper Table 1: 22,677-vertex M6 wing, one R10000; ratios up to 5.7x");
+
+  // Baseline mesh: shuffled vertices, vector-machine (colored) edge order.
+  auto base = benchutil::make_shuffled_wing(vertices);
+  base.permute_edges(mesh::edge_order_colored(base));
+  // Enhanced mesh: RCM vertices + sorted edges.
+  auto ordered = benchutil::make_shuffled_wing(vertices);
+  mesh::apply_best_ordering(ordered);
+
+  std::printf("mesh: %d vertices, %d edges, %d tets\n", base.num_vertices(),
+              base.num_edges(), base.num_tets());
+  std::printf("DOFs: incompressible %d, compressible %d\n",
+              base.num_vertices() * 4, base.num_vertices() * 5);
+
+  Table table({"Intl", "Blk", "Reord", "Incomp t/step", "Ratio",
+               "paper", "Comp t/step", "Ratio", "paper"});
+  double inc0 = 0, com0 = 0;
+  for (int row = 0; row < 6; ++row) {
+    const auto& c = kConfigs[row];
+    const auto& mesh = c.reorder ? ordered : base;
+    const double ti = time_step(mesh, cfd::Model::kIncompressible,
+                                c.interlace, c.blocking, linear_its, reps);
+    const double tc = time_step(mesh, cfd::Model::kCompressible, c.interlace,
+                                c.blocking, linear_its, reps);
+    if (row == 0) {
+      inc0 = ti;
+      com0 = tc;
+    }
+    table.add_row({c.interlace ? "x" : ".", c.blocking ? "x" : ".",
+                   c.reorder ? "x" : ".", Table::num(ti * 1e3, 1) + "ms",
+                   Table::num(inc0 / ti, 2),
+                   Table::num(kPaperIncomp[0] / kPaperIncomp[row], 2),
+                   Table::num(tc * 1e3, 1) + "ms", Table::num(com0 / tc, 2),
+                   Table::num(kPaperComp[0] / kPaperComp[row], 2)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: every enhancement should improve both models, with the\n"
+      "full combination the fastest (paper: 4.96x incompressible, 5.71x\n"
+      "compressible on the R10000; modern hosts have larger caches and\n"
+      "relatively faster memory, so smaller but same-ordered ratios are\n"
+      "expected at this mesh size).\n");
+  return 0;
+}

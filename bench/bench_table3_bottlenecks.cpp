@@ -1,0 +1,134 @@
+// Reproduces Table 3: scalability bottlenecks on ASCI Red, 128-1024
+// processors, 2.8M-vertex mesh, block Jacobi + ILU(1).
+//
+// Two-layer reproduction:
+//  1. ALGORITHMIC (real): the iteration growth with subdomain count is
+//     measured from actual psi-NKS runs on a host-scale mesh with the
+//     same vertices-per-subdomain ratios as the paper's configurations,
+//     and fitted to its(P) = its0 * (P/P0)^alpha.
+//  2. HARDWARE (modeled): per-step times, phase percentages, scatter
+//     volumes and effective bandwidths come from the ASCI Red virtual
+//     machine at the paper's true 2.8M-vertex scale, with partition
+//     surface statistics extrapolated from real partitions.
+//
+// Usage: bench_table3_bottlenecks [-vertices 16000] [-steps 5]
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "par/stepmodel.hpp"
+#include "perf/machine.hpp"
+
+namespace {
+using namespace f3d;
+}
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 16000);
+  const int steps = opts.get_int("steps", 5);
+
+  benchutil::print_header(
+      "Table 3 - scalability bottlenecks (ASCI Red, 2.8M vertices)",
+      "paper Table 3: its 22->29, speedup 5.63 at 1024 procs, "
+      "eta_overall 0.70 = eta_alg 0.76 x eta_impl 0.93; scatters 3%->6%, "
+      "2.0->5.3 GB/it, ~4 MB/s effective");
+
+  auto mesh = benchutil::make_ordered_wing(vertices);
+  const int nv = mesh.num_vertices();
+  const double paper_nv = 2.8e6;
+  const int paper_procs[] = {128, 256, 512, 768, 1024};
+
+  // --- 1. real iteration growth with subdomain count -------------------
+  // The growth *exponent* of block-Jacobi-preconditioned Krylov iteration
+  // counts is measured over an 8x subdomain range on the host mesh (the
+  // same 8x span as the paper's 128 -> 1024) and transferred to the
+  // paper's scale. This is a real algorithmic measurement, not a model.
+  std::printf("mesh: %d vertices; measuring real iteration growth...\n", nv);
+  solver::SchwarzOptions so;
+  so.type = solver::SchwarzType::kBlockJacobi;
+  so.overlap = 0;
+  so.fill_level = 1;
+
+  std::vector<std::pair<int, double>> its_measured;
+  Table mtab({"Subdomains", "verts/sub", "its/step (real)"});
+  for (int p : {8, 16, 32, 64}) {
+    auto probe = benchutil::probe_nks(mesh, p, so, steps);
+    its_measured.push_back({p, probe.linear_its_per_step});
+    mtab.add_row({Table::num(static_cast<long long>(p)),
+                  Table::num(static_cast<long long>(nv / p)),
+                  Table::num(probe.linear_its_per_step, 1)});
+  }
+  mtab.print();
+  const double alpha = benchutil::fit_iteration_growth(its_measured);
+  std::printf("fitted iteration growth: its ~ P^%.3f "
+              "(paper's 22->29 over 8x implies P^%.3f)\n\n",
+              alpha, std::log(29.0 / 22.0) / std::log(8.0));
+
+  // --- 2. virtual ASCI Red at 2.8M vertices ----------------------------
+  auto law = benchutil::measure_surface_law(mesh, {8, 16, 32, 64});
+  auto machine = perf::asci_red();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  auto work = benchutil::calibrate_work(disc, so.fill_level, false);
+
+  const double its_base = its_measured.front().second;
+  std::vector<par::ScalingPoint> points;
+  std::vector<par::StepBreakdown> breakdowns;
+  for (int pp : paper_procs) {
+    par::StepCounts counts;
+    counts.linear_its =
+        its_base * std::pow(static_cast<double>(pp) / 128.0, alpha);
+    auto load = par::synthesize_load(paper_nv, pp, law);
+    auto brk = par::model_step(machine, load, work, counts);
+    breakdowns.push_back(brk);
+    points.push_back(
+        {pp, counts.linear_its, brk.total() * 20.0});  // 20-step solve
+  }
+  auto eff = par::efficiency_decomposition(points);
+
+  const int paper_its[] = {22, 24, 26, 27, 29};
+  const double paper_speedup[] = {1.00, 1.78, 3.20, 4.62, 5.63};
+  const double paper_eta[] = {1.00, 0.89, 0.80, 0.77, 0.70};
+
+  Table t1({"Procs", "Its", "Time", "Speedup", "eta_ovr", "eta_alg",
+            "eta_impl", "paper(spd/eta)"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    t1.add_row({Table::num(static_cast<long long>(points[i].procs)),
+                Table::num(points[i].its, 0),
+                Table::num(points[i].time, 0) + "s",
+                Table::num(eff[i].speedup, 2), Table::num(eff[i].eta_overall, 2),
+                Table::num(eff[i].eta_alg, 2), Table::num(eff[i].eta_impl, 2),
+                Table::num(paper_speedup[i], 2) + "/" +
+                    Table::num(paper_eta[i], 2) + " (its " +
+                    std::to_string(paper_its[i]) + ")"});
+  }
+  t1.print();
+
+  std::printf("\nper-step phase shares and scatter statistics:\n");
+  Table t2({"Procs", "%reduc", "%implsync", "%scatter", "GB/step",
+            "EffBW MB/s", "paper(%r/%s/%sc, GB, BW)"});
+  const char* paper_row[] = {"5/4/3, 2.0, 3.9", "3/6/4, 2.8, 4.2",
+                             "3/7/5, 4.0, 3.4", "3/8/5, 4.6, 4.2",
+                             "3/10/6, 5.3, 4.2"};
+  for (std::size_t i = 0; i < breakdowns.size(); ++i) {
+    const auto& b = breakdowns[i];
+    t2.add_row({Table::num(static_cast<long long>(points[i].procs)),
+                Table::num(b.pct(b.t_reductions), 0),
+                Table::num(b.pct(b.t_implicit_sync), 0),
+                Table::num(b.pct(b.t_scatter), 0),
+                Table::num(b.scatter_bytes_total * 1e-9, 1),
+                Table::num(b.effective_bw_per_node_mbs, 1), paper_row[i]});
+  }
+  t2.print();
+  std::printf(
+      "\nShape check: iteration counts (real) grow ~15-30%% over the sweep;\n"
+      "implicit sync and scatter shares grow with P while reductions stay\n"
+      "small; total scattered GB grows despite shrinking subdomains; the\n"
+      "effective per-node bandwidth sits far below the wire rate.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "cfd/problem.hpp"
+#include "common/timer.hpp"
+#include "mesh/ordering.hpp"
+#include "partition/multilevel.hpp"
+#include "sparse/ilu.hpp"
+
+namespace f3d::benchutil {
+
+void print_header(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+mesh::UnstructuredMesh make_shuffled_wing(int target_vertices, unsigned seed) {
+  auto m = mesh::generate_wing_mesh_with_size(target_vertices);
+  mesh::shuffle_mesh(m, seed);
+  return m;
+}
+
+mesh::UnstructuredMesh make_ordered_wing(int target_vertices, unsigned seed) {
+  auto m = make_shuffled_wing(target_vertices, seed);
+  mesh::apply_best_ordering(m);
+  return m;
+}
+
+par::WorkCoefficients calibrate_work(const cfd::EulerDiscretization& disc,
+                                     int ilu_fill, bool single_precision) {
+  par::WorkCoefficients w;
+  w.nb = disc.nb();
+  w.flux_flops_per_edge =
+      disc.residual_flops() / std::max(1, disc.mesh().num_edges());
+
+  // Sparse traffic per owned vertex per Krylov iteration: one ILU(k)
+  // triangular solve (stream the factors once) plus ~6 Krylov vector
+  // passes (orthogonalization + update).
+  const auto& st = disc.stencil();
+  const double blocks_per_vertex =
+      static_cast<double>(st.nnz()) / std::max(1, st.n);
+  // ILU(k) fill growth measured coarsely: level 1 ~ 1.6x, level 2 ~ 2.3x
+  // the level-0 block count on tetrahedral stencils.
+  const double fill_factor = ilu_fill == 0 ? 1.0 : (ilu_fill == 1 ? 1.6 : 2.3);
+  const double factor_scalar_bytes = single_precision ? 4.0 : 8.0;
+  const double factor_bytes = blocks_per_vertex * fill_factor * w.nb * w.nb *
+                              factor_scalar_bytes;
+  const double vector_bytes = 6.0 * w.nb * 8.0;
+  w.sparse_bytes_per_vertex_it = factor_bytes + vector_bytes;
+  w.sparse_flops_per_vertex_it =
+      2.0 * blocks_per_vertex * fill_factor * w.nb * w.nb + 8.0 * w.nb;
+  return w;
+}
+
+NksProbe probe_nks(const mesh::UnstructuredMesh& mesh, int subdomains,
+                   const solver::SchwarzOptions& schwarz, int steps,
+                   Partitioner partitioner, double rtol) {
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(mesh, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+
+  auto g = mesh::build_graph(mesh.num_vertices(), mesh.edges());
+  solver::PtcOptions opts;
+  opts.max_steps = steps;
+  opts.rtol = rtol;
+  opts.cfl0 = 10.0;
+  opts.num_subdomains = subdomains;
+  opts.schwarz = schwarz;
+  opts.gmres.restart = 20;
+  opts.gmres.rtol = 1e-3;
+  opts.gmres.max_iters = 120;
+  switch (partitioner) {
+    case Partitioner::kKway:
+      opts.partition = part::kway_grow(g, subdomains);
+      break;
+    case Partitioner::kBalanceFirst:
+      opts.partition = part::balance_first(g, subdomains);
+      break;
+    case Partitioner::kMultilevel:
+      opts.partition = part::multilevel_kway(g, subdomains);
+      break;
+  }
+
+  auto x = prob.initial_state();
+  Timer t;
+  auto res = solver::ptc_solve(prob, x, opts);
+  NksProbe probe;
+  probe.subdomains = subdomains;
+  probe.steps = res.steps;
+  probe.total_linear_its = res.total_linear_iterations;
+  probe.linear_its_per_step =
+      res.steps > 0 ? static_cast<double>(res.total_linear_iterations) /
+                          res.steps
+                    : 0;
+  probe.flux_evals_per_step =
+      res.steps > 0
+          ? static_cast<double>(res.function_evaluations) / res.steps
+          : 0;
+  probe.wall_seconds = t.seconds();
+  probe.converged = res.converged;
+  return probe;
+}
+
+double fit_iteration_growth(
+    const std::vector<std::pair<int, double>>& its_by_procs) {
+  // Least squares slope of log(its) vs log(P).
+  F3D_CHECK(its_by_procs.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(its_by_procs.size());
+  for (const auto& [p, its] : its_by_procs) {
+    const double x = std::log(static_cast<double>(p));
+    const double y = std::log(std::max(its, 1e-9));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+par::SurfaceLaw measure_surface_law(const mesh::UnstructuredMesh& mesh,
+                                    const std::vector<int>& part_counts,
+                                    Partitioner partitioner) {
+  auto g = mesh::build_graph(mesh.num_vertices(), mesh.edges());
+  std::vector<par::PartitionLoad> samples;
+  for (int np : part_counts) {
+    part::Partition p;
+    switch (partitioner) {
+      case Partitioner::kKway:
+        p = part::kway_grow(g, np);
+        break;
+      case Partitioner::kBalanceFirst:
+        p = part::balance_first(g, np);
+        break;
+      case Partitioner::kMultilevel:
+        p = part::multilevel_kway(g, np);
+        break;
+    }
+    samples.push_back(par::measure_load(g, p));
+  }
+  return par::fit_surface_law(samples);
+}
+
+}  // namespace f3d::benchutil

@@ -1,0 +1,69 @@
+#pragma once
+// Shared infrastructure for the per-table/per-figure benchmark harnesses:
+// standard meshes, work-coefficient calibration from the real kernels,
+// real psi-NKS probes (measured iteration counts), and the iteration-growth
+// fit that extrapolates measured algorithmic behaviour to the paper's
+// 2.8M-vertex scale.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cfd/euler.hpp"
+#include "mesh/generator.hpp"
+#include "par/loadmodel.hpp"
+#include "par/stepmodel.hpp"
+#include "partition/partition.hpp"
+#include "solver/newton.hpp"
+
+namespace f3d::benchutil {
+
+/// Paper-style experiment header.
+void print_header(const std::string& experiment, const std::string& paper_ref);
+
+/// Wing mesh in "as-delivered" (shuffled) order.
+mesh::UnstructuredMesh make_shuffled_wing(int target_vertices,
+                                          unsigned seed = 1);
+
+/// Same mesh with the paper's best layout (RCM + sorted edges).
+mesh::UnstructuredMesh make_ordered_wing(int target_vertices,
+                                         unsigned seed = 1);
+
+/// Work coefficients for the virtual machine, calibrated from the actual
+/// discretization and preconditioner sizes on the given mesh.
+par::WorkCoefficients calibrate_work(const cfd::EulerDiscretization& disc,
+                                     int ilu_fill, bool single_precision);
+
+/// Result of a short real psi-NKS run with P subdomains.
+struct NksProbe {
+  int subdomains = 0;
+  double linear_its_per_step = 0;
+  double flux_evals_per_step = 0;
+  long long total_linear_its = 0;
+  int steps = 0;
+  double wall_seconds = 0;
+  bool converged = false;
+};
+
+enum class Partitioner { kKway, kBalanceFirst, kMultilevel };
+
+/// Run `steps` pseudo-timesteps of the incompressible wing problem with
+/// the given Schwarz configuration on `subdomains` subdomains; measure the
+/// real iteration counts (the eta_alg ingredient of Tables 3-4 / Fig 4).
+NksProbe probe_nks(const mesh::UnstructuredMesh& mesh, int subdomains,
+                   const solver::SchwarzOptions& schwarz, int steps,
+                   Partitioner partitioner = Partitioner::kKway,
+                   double rtol = 1e-10);
+
+/// Fit its(P) = its_base * (P / P_base)^alpha by least squares in log
+/// space; returns alpha. Input: (procs, its) pairs.
+double fit_iteration_growth(
+    const std::vector<std::pair<int, double>>& its_by_procs);
+
+/// Surface law measured from real partitions of the given mesh across a
+/// range of subdomain counts.
+par::SurfaceLaw measure_surface_law(const mesh::UnstructuredMesh& mesh,
+                                    const std::vector<int>& part_counts,
+                                    Partitioner partitioner = Partitioner::kKway);
+
+}  // namespace f3d::benchutil

@@ -1,0 +1,110 @@
+// Cache explorer: point the simulated memory hierarchy at the solver's
+// kernels under a cache geometry of your choosing — the "what if my
+// machine had ..." tool behind the paper's memory-centric methodology.
+//
+//   $ cache_explorer [-vertices 12000] [-l2-kb 4096] [-l2-assoc 2]
+//                    [-line 128] [-tlb 64] [-page-kb 4]
+//
+// Prints, for each layout configuration, the TLB and L2 miss counts of a
+// flux evaluation + SpMV, plus the analytic Eq. 1/2 bound for the SpMV
+// vector working set — letting you see the paper's model and the
+// simulation side by side on your own parameters.
+
+#include <cstdio>
+
+#include "cfd/euler.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/ordering.hpp"
+#include "perf/models.hpp"
+#include "simcache/traced_kernels.hpp"
+#include "sparse/assembly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace f3d;
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 12000);
+
+  simcache::MemoryTracer::Config cache_cfg;
+  cache_cfg.l2_capacity = static_cast<std::uint64_t>(
+      opts.get_int("l2-kb", 4096)) * 1024;
+  cache_cfg.l2_assoc = static_cast<std::uint32_t>(opts.get_int("l2-assoc", 2));
+  cache_cfg.l2_line = static_cast<std::uint32_t>(opts.get_int("line", 128));
+  cache_cfg.tlb_entries = static_cast<std::uint32_t>(opts.get_int("tlb", 64));
+  cache_cfg.page_size = static_cast<std::uint32_t>(
+      opts.get_int("page-kb", 4)) * 1024;
+
+  std::printf("simulated hierarchy: L2 %lluKB/%u-way (%uB lines), TLB %u x "
+              "%uKB pages\n",
+              static_cast<unsigned long long>(cache_cfg.l2_capacity / 1024),
+              cache_cfg.l2_assoc, cache_cfg.l2_line, cache_cfg.tlb_entries,
+              cache_cfg.page_size / 1024);
+
+  auto shuffled = mesh::generate_wing_mesh_with_size(vertices);
+  mesh::shuffle_mesh(shuffled, 1);
+  auto ordered = shuffled;
+  mesh::apply_best_ordering(ordered);
+  std::printf("mesh: %d vertices, %d edges\n\n", shuffled.num_vertices(),
+              shuffled.num_edges());
+
+  const int nb = 4;
+  auto run = [&](const mesh::UnstructuredMesh& mesh, bool interlace) {
+    cfd::FlowConfig fc;
+    fc.model = cfd::Model::kIncompressible;
+    fc.order = 1;
+    fc.layout = interlace ? sparse::FieldLayout::kInterlaced
+                          : sparse::FieldLayout::kNonInterlaced;
+    cfd::EulerDiscretization disc(mesh, fc);
+    auto stencil = sparse::stencil_from_mesh(mesh);
+    auto values = sparse::synthetic_values(stencil);
+    auto a = sparse::build_point_csr(stencil, nb, values, fc.layout);
+    auto q = disc.make_freestream_field();
+    std::vector<double> r, x(static_cast<std::size_t>(a.n), 1.0), y(x.size());
+
+    simcache::MemoryTracer tracer(cache_cfg);
+    simcache::traced_flux(mesh, disc.dual(), fc, q, r, tracer);  // warm
+    simcache::traced_spmv_csr(a, x.data(), y.data(), tracer);
+    tracer.reset_counters();
+    simcache::traced_flux(mesh, disc.dual(), fc, q, r, tracer);
+    simcache::traced_spmv_csr(a, x.data(), y.data(), tracer);
+    return std::pair<long long, long long>(
+        static_cast<long long>(tracer.tlb().misses()),
+        static_cast<long long>(tracer.l2().misses()));
+  };
+
+  Table t({"Configuration", "TLB misses", "L2 misses"});
+  struct Row {
+    const char* name;
+    bool reorder, interlace;
+  };
+  for (const Row& row : {Row{"shuffled, non-interlaced", false, false},
+                         Row{"shuffled, interlaced", false, true},
+                         Row{"RCM+sorted, non-interlaced", true, false},
+                         Row{"RCM+sorted, interlaced", true, true}}) {
+    auto [tlb, l2] = run(row.reorder ? ordered : shuffled, row.interlace);
+    t.add_row({row.name, Table::num(tlb), Table::num(l2)});
+  }
+  t.print();
+
+  // The paper's analytic bounds for the SpMV vector working set.
+  const std::uint64_t n_dw =
+      static_cast<std::uint64_t>(shuffled.num_vertices()) * nb;
+  const std::uint64_t beta_dw =
+      static_cast<std::uint64_t>(ordered.bandwidth()) * nb;
+  const std::uint64_t cache_dw = cache_cfg.l2_capacity / 8;
+  const std::uint64_t line_dw = cache_cfg.l2_line / 8;
+  std::printf("\nEq. 1 bound (non-interlaced, span ~ N = %llu doubles): "
+              "%llu conflict misses\n",
+              static_cast<unsigned long long>(n_dw),
+              static_cast<unsigned long long>(
+                  perf::conflict_miss_bound(n_dw, n_dw, cache_dw, line_dw)));
+  std::printf("Eq. 2 bound (interlaced+RCM, span ~ nb*beta = %llu doubles): "
+              "%llu conflict misses\n",
+              static_cast<unsigned long long>(beta_dw),
+              static_cast<unsigned long long>(perf::conflict_miss_bound(
+                  n_dw, beta_dw, cache_dw, line_dw)));
+  std::printf("\nTry: -l2-kb 256 to watch the interlaced/non-interlaced gap\n"
+              "open up, or -tlb 16 to reproduce the TLB cliff of Figure 3.\n");
+  return 0;
+}

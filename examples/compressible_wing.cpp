@@ -1,0 +1,91 @@
+// Compressible Euler flow over the wing with the paper's robustness
+// recipe (§2.4.1): start first-order with a modest CFL, switch to
+// second-order after two orders of residual reduction, and let the SER
+// power law drive the timestep toward Newton's method.
+//
+//   $ compressible_wing [-vertices 6000] [-mach 0.5] [-alpha 2.0]
+
+#include <cmath>
+#include <cstdio>
+
+#include "cfd/problem.hpp"
+#include "io/vtk.hpp"
+#include "common/options.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/ordering.hpp"
+#include "solver/newton.hpp"
+
+int main(int argc, char** argv) {
+  using namespace f3d;
+  Options opts(argc, argv);
+
+  auto mesh = mesh::generate_wing_mesh_with_size(opts.get_int("vertices", 6000));
+  mesh::apply_best_ordering(mesh);
+
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kCompressible;
+  cfg.mach = opts.get_double("mach", 0.5);
+  cfg.alpha_deg = opts.get_double("alpha", 2.0);
+  cfg.order = 2;  // target order; the problem starts first-order below
+  cfd::EulerDiscretization disc(mesh, cfg);
+
+  // Switch to second order after two orders of residual reduction — the
+  // paper: "we normally reduce the first two to four orders of residual
+  // norm with the first-order discretization, then switch to second."
+  cfd::EulerProblem problem(disc, /*switch_to_second_at=*/1e-2);
+
+  solver::PtcOptions popts;
+  popts.cfl0 = opts.get_double("cfl0", 5.0);
+  popts.ser_exponent = 1.0;
+  popts.rtol = opts.get_double("rtol", 1e-8);
+  popts.max_steps = opts.get_int("max-steps", 80);
+  popts.schwarz.fill_level = 1;
+  popts.num_subdomains = opts.get_int("subdomains", 1);
+
+  std::printf("compressible Euler: Mach %.2f, alpha %.1f deg, %d vertices "
+              "(%d DOFs)\n\n",
+              cfg.mach, cfg.alpha_deg, mesh.num_vertices(),
+              mesh.num_vertices() * 5);
+
+  auto x = problem.initial_state();
+  auto result = solver::ptc_solve(problem, x, popts);
+
+  int switch_step = -1;
+  for (const auto& h : result.history) {
+    const bool second = disc.config().order == 2;
+    if (switch_step < 0 && second &&
+        h.residual / result.initial_residual < 1e-2)
+      switch_step = h.step;
+    std::printf("step %3d  res %.3e  CFL %8.0f  its %3d\n", h.step,
+                h.residual / result.initial_residual, h.cfl,
+                h.linear_iterations);
+  }
+  std::printf("\n%s; discretization finished at order %d\n",
+              result.converged ? "CONVERGED" : "NOT converged",
+              disc.config().order);
+
+  // Flow field summary: Mach number statistics over the volume.
+  double mmin = 1e30, mmax = -1e30;
+  for (int v = 0; v < mesh.num_vertices(); ++v) {
+    const double* q = &x[static_cast<std::size_t>(v) * 5];
+    const double inv_rho = 1.0 / q[0];
+    const double speed = std::sqrt(q[1] * q[1] + q[2] * q[2] + q[3] * q[3]) *
+                         inv_rho;
+    const double p =
+        (cfg.gamma - 1.0) *
+        (q[4] - 0.5 * inv_rho * (q[1] * q[1] + q[2] * q[2] + q[3] * q[3]));
+    const double a = std::sqrt(cfg.gamma * p * inv_rho);
+    const double mach = speed / a;
+    mmin = std::min(mmin, mach);
+    mmax = std::max(mmax, mach);
+  }
+  std::printf("Mach number range in the field: [%.3f, %.3f] "
+              "(freestream %.2f; the bump accelerates the flow)\n",
+              mmin, mmax, cfg.mach);
+  if (opts.has("output")) {
+    const auto path = opts.get_string("output", "flow.vtk");
+    io::write_flow_vtk(path, mesh, disc.config(), x);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return result.converged ? 0 : 1;
+}

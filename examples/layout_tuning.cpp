@@ -1,0 +1,101 @@
+// Layout tuning walkthrough: how a user applies the paper's three data
+// layout enhancements to their own mesh and verifies each one's effect —
+// on bandwidth, on simulated cache/TLB behaviour, and on real kernel time.
+//
+//   $ layout_tuning [-vertices 12000]
+
+#include <cstdio>
+
+#include "cfd/euler.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/ordering.hpp"
+#include "simcache/traced_kernels.hpp"
+#include "sparse/assembly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace f3d;
+  Options opts(argc, argv);
+  const int vertices = opts.get_int("vertices", 12000);
+
+  // A mesh "as delivered": vertex numbering is whatever the generator
+  // produced (emulated by a shuffle).
+  auto mesh = mesh::generate_wing_mesh_with_size(vertices);
+  mesh::shuffle_mesh(mesh, 42);
+  std::printf("as-delivered mesh: %d vertices, bandwidth %d\n",
+              mesh.num_vertices(), mesh.bandwidth());
+
+  // Step 1: vertex reordering (RCM) — shrinks the Jacobian bandwidth,
+  // which is the beta in the paper's conflict-miss bound (Eq. 2).
+  auto rcm = mesh::rcm_ordering(mesh.vertex_adjacency());
+  mesh.permute_vertices(rcm);
+  std::printf("after RCM: bandwidth %d\n", mesh.bandwidth());
+
+  // Step 2: edge reordering — sorts the flux loop by tail vertex.
+  mesh.permute_edges(mesh::edge_order_sorted(mesh));
+
+  // Step 3: compare field layouts and matrix formats on the tuned mesh.
+  auto stencil = sparse::stencil_from_mesh(mesh);
+  auto values = sparse::synthetic_values(stencil);
+  const int nb = 4;
+
+  auto mi = sparse::build_point_csr(stencil, nb, values,
+                                    sparse::FieldLayout::kInterlaced);
+  auto mn = sparse::build_point_csr(stencil, nb, values,
+                                    sparse::FieldLayout::kNonInterlaced);
+  auto mb = sparse::build_bcsr(stencil, nb, values);
+
+  std::vector<double> x(static_cast<std::size_t>(stencil.n) * nb, 1.0);
+  std::vector<double> y(x.size());
+  auto time_spmv = [&](auto& m) {
+    // Warm + best of 5.
+    m.spmv(x.data(), y.data());
+    double best = 1e100;
+    for (int r = 0; r < 5; ++r) {
+      Timer t;
+      for (int k = 0; k < 10; ++k) m.spmv(x.data(), y.data());
+      best = std::min(best, t.seconds() / 10);
+    }
+    return best;
+  };
+
+  // Cache/TLB behaviour from the simulator (no hardware counters needed).
+  auto misses = [&](auto&& kernel) {
+    simcache::MemoryTracer tracer;
+    kernel(tracer);  // warm
+    tracer.reset_counters();
+    kernel(tracer);
+    return std::pair<long long, long long>(
+        static_cast<long long>(tracer.tlb().misses()),
+        static_cast<long long>(tracer.l2().misses()));
+  };
+  auto [tlb_i, l2_i] = misses([&](simcache::MemoryTracer& t) {
+    simcache::traced_spmv_csr(mi, x.data(), y.data(), t);
+  });
+  auto [tlb_n, l2_n] = misses([&](simcache::MemoryTracer& t) {
+    simcache::traced_spmv_csr(mn, x.data(), y.data(), t);
+  });
+  auto [tlb_b, l2_b] = misses([&](simcache::MemoryTracer& t) {
+    simcache::traced_spmv_bcsr(mb, x.data(), y.data(), t);
+  });
+
+  Table table({"SpMV variant", "time", "TLB misses", "L2 misses"});
+  table.add_row({"non-interlaced point CSR",
+                 Table::num(time_spmv(mn) * 1e3, 2) + "ms", Table::num(tlb_n),
+                 Table::num(l2_n)});
+  table.add_row({"interlaced point CSR",
+                 Table::num(time_spmv(mi) * 1e3, 2) + "ms", Table::num(tlb_i),
+                 Table::num(l2_i)});
+  table.add_row({"interlaced block CSR (BAIJ)",
+                 Table::num(time_spmv(mb) * 1e3, 2) + "ms", Table::num(tlb_b),
+                 Table::num(l2_b)});
+  std::printf("\n");
+  table.print();
+  std::printf("\nRule of thumb from the paper: interlace fields, block the\n"
+              "matrix by the %d unknowns per vertex, and order vertices/edges\n"
+              "for locality — worth ~5x end to end on cache machines.\n",
+              nb);
+  return 0;
+}

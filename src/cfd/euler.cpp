@@ -1,0 +1,396 @@
+#include "cfd/euler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/error.hpp"
+
+namespace f3d::cfd {
+
+EulerDiscretization::EulerDiscretization(const mesh::UnstructuredMesh& mesh,
+                                         FlowConfig cfg)
+    : mesh_(mesh),
+      cfg_(cfg),
+      dual_(mesh::compute_dual_metrics(mesh)),
+      stencil_(sparse::stencil_from_mesh(mesh)) {
+  F3D_CHECK(cfg_.order == 1 || cfg_.order == 2);
+  freestream_state(cfg_, qinf_);
+}
+
+FlowField EulerDiscretization::make_freestream_field() const {
+  FlowField f(num_vertices(), nb(), cfg_.layout);
+  for (int v = 0; v < num_vertices(); ++v)
+    for (int c = 0; c < nb(); ++c) f.set(v, c, qinf_[c]);
+  return f;
+}
+
+void EulerDiscretization::gradients(const FlowField& q,
+                                    std::vector<double>& grad) const {
+  const int nv = num_vertices();
+  const int ncomp = nb();
+  grad.assign(static_cast<std::size_t>(nv) * ncomp * 3, 0.0);
+
+  const auto& edges = mesh_.edges();
+  const auto& coords = mesh_.coords();
+  (void)coords;
+  const double* qd = q.data().data();
+  const std::size_t st = q.stride();
+
+  // Edge-difference Green-Gauss: grad_i += 1/(2 V_i) n_ij (q_j - q_i).
+  for (int e = 0; e < mesh_.num_edges(); ++e) {
+    const int i = edges[e][0], j = edges[e][1];
+    const auto& n = dual_.edge_normal[e];
+    const std::size_t bi = q.base(i), bj = q.base(j);
+    for (int c = 0; c < ncomp; ++c) {
+      const double dq = qd[bj + c * st] - qd[bi + c * st];
+      for (int d = 0; d < 3; ++d) {
+        grad[(static_cast<std::size_t>(i) * ncomp + c) * 3 + d] +=
+            0.5 * n[d] * dq;
+        grad[(static_cast<std::size_t>(j) * ncomp + c) * 3 + d] +=
+            0.5 * n[d] * dq;
+      }
+    }
+  }
+  for (int v = 0; v < nv; ++v) {
+    const double inv_vol = 1.0 / dual_.vertex_volume[v];
+    for (int k = 0; k < ncomp * 3; ++k)
+      grad[static_cast<std::size_t>(v) * ncomp * 3 + k] *= inv_vol;
+  }
+}
+
+void EulerDiscretization::limiters(const FlowField& q,
+                                   const std::vector<double>& grad,
+                                   std::vector<double>& phi) const {
+  const int nv = num_vertices();
+  const int ncomp = nb();
+  phi.assign(static_cast<std::size_t>(nv) * ncomp, 1.0);
+
+  const auto& edges = mesh_.edges();
+  const auto& coords = mesh_.coords();
+  const double* qd = q.data().data();
+  const std::size_t st = q.stride();
+
+  // Neighbor min/max per (vertex, component).
+  std::vector<double> qmin(static_cast<std::size_t>(nv) * ncomp),
+      qmax(static_cast<std::size_t>(nv) * ncomp);
+  for (int v = 0; v < nv; ++v) {
+    const std::size_t b = q.base(v);
+    for (int c = 0; c < ncomp; ++c)
+      qmin[static_cast<std::size_t>(v) * ncomp + c] =
+          qmax[static_cast<std::size_t>(v) * ncomp + c] = qd[b + c * st];
+  }
+  for (const auto& e : edges) {
+    const int i = e[0], j = e[1];
+    const std::size_t bi = q.base(i), bj = q.base(j);
+    for (int c = 0; c < ncomp; ++c) {
+      const double qi = qd[bi + c * st], qj = qd[bj + c * st];
+      auto& mni = qmin[static_cast<std::size_t>(i) * ncomp + c];
+      auto& mxi = qmax[static_cast<std::size_t>(i) * ncomp + c];
+      auto& mnj = qmin[static_cast<std::size_t>(j) * ncomp + c];
+      auto& mxj = qmax[static_cast<std::size_t>(j) * ncomp + c];
+      mni = std::min(mni, qj);
+      mxi = std::max(mxi, qj);
+      mnj = std::min(mnj, qi);
+      mxj = std::max(mxj, qi);
+    }
+  }
+
+  // Venkatakrishnan limiter, eps^2 ~ (K^3) * cell volume (h^3 scale).
+  auto venkat = [](double dplus, double d2, double eps2) {
+    const double num = (dplus * dplus + eps2) * d2 + 2 * d2 * d2 * dplus;
+    const double den = dplus * dplus + 2 * d2 * d2 + dplus * d2 + eps2;
+    return den == 0 ? 1.0 : num / (den * d2);
+  };
+
+  for (int e = 0; e < mesh_.num_edges(); ++e) {
+    const int i = edges[e][0], j = edges[e][1];
+    const double dx[3] = {coords[j][0] - coords[i][0],
+                          coords[j][1] - coords[i][1],
+                          coords[j][2] - coords[i][2]};
+    const std::size_t bi = q.base(i), bj = q.base(j);
+    for (int c = 0; c < ncomp; ++c) {
+      // Limit both endpoints' reconstructions toward the edge midpoint.
+      for (int side = 0; side < 2; ++side) {
+        const int v = side == 0 ? i : j;
+        const double sgn = side == 0 ? 0.5 : -0.5;
+        const double* g =
+            &grad[(static_cast<std::size_t>(v) * ncomp + c) * 3];
+        const double d2 = sgn * (g[0] * dx[0] + g[1] * dx[1] + g[2] * dx[2]);
+        if (d2 == 0) continue;
+        const std::size_t b = side == 0 ? bi : bj;
+        const double qv = qd[b + c * st];
+        const double dplus =
+            d2 > 0 ? qmax[static_cast<std::size_t>(v) * ncomp + c] - qv
+                   : qmin[static_cast<std::size_t>(v) * ncomp + c] - qv;
+        const double k3 = cfg_.venkat_k * cfg_.venkat_k * cfg_.venkat_k;
+        const double eps2 = k3 * dual_.vertex_volume[v];
+        const double lim = venkat(d2 > 0 ? dplus : -dplus, std::abs(d2), eps2);
+        auto& p = phi[static_cast<std::size_t>(v) * ncomp + c];
+        p = std::min(p, std::max(0.0, lim));
+      }
+    }
+  }
+}
+
+void EulerDiscretization::interface_states(const FlowField& q,
+                                           const std::vector<double>& grad,
+                                           const std::vector<double>& phi,
+                                           int i, int j, double* ql,
+                                           double* qr) const {
+  const int ncomp = nb();
+  const auto& coords = mesh_.coords();
+  const double* qd = q.data().data();
+  const std::size_t st = q.stride();
+  const std::size_t bi = q.base(i), bj = q.base(j);
+  const double dx[3] = {coords[j][0] - coords[i][0],
+                        coords[j][1] - coords[i][1],
+                        coords[j][2] - coords[i][2]};
+  for (int c = 0; c < ncomp; ++c) {
+    const double* gi = &grad[(static_cast<std::size_t>(i) * ncomp + c) * 3];
+    const double* gj = &grad[(static_cast<std::size_t>(j) * ncomp + c) * 3];
+    const double di = 0.5 * (gi[0] * dx[0] + gi[1] * dx[1] + gi[2] * dx[2]);
+    const double dj = -0.5 * (gj[0] * dx[0] + gj[1] * dx[1] + gj[2] * dx[2]);
+    ql[c] = qd[bi + c * st] + phi[static_cast<std::size_t>(i) * ncomp + c] * di;
+    qr[c] = qd[bj + c * st] + phi[static_cast<std::size_t>(j) * ncomp + c] * dj;
+  }
+}
+
+void EulerDiscretization::residual_impl(const FlowField& q,
+                                        std::vector<double>& r,
+                                        int threads) const {
+  const int nv = num_vertices();
+  const int ncomp = nb();
+  F3D_CHECK(q.num_vertices() == nv && q.nb() == ncomp);
+  F3D_CHECK(q.layout() == cfg_.layout);
+  r.assign(static_cast<std::size_t>(nv) * ncomp, 0.0);
+
+  const bool second_order = cfg_.order == 2;
+  std::vector<double> grad, phi;
+  if (second_order) {
+    gradients(q, grad);
+    limiters(q, grad, phi);
+  }
+
+  const auto& edges = mesh_.edges();
+  const double* qd = q.data().data();
+  const std::size_t st = q.stride();
+  const int ne = mesh_.num_edges();
+
+#ifdef _OPENMP
+  const int nt = std::max(1, threads);
+#else
+  const int nt = 1;
+  (void)threads;
+#endif
+
+  // Per-thread replicated accumulators (thread 0 writes into r directly).
+  std::vector<std::vector<double>> racc(
+      static_cast<std::size_t>(nt > 1 ? nt - 1 : 0));
+  for (auto& a : racc) a.assign(r.size(), 0.0);
+
+  auto edge_range = [&](int t, int& lo, int& hi) {
+    lo = static_cast<int>(static_cast<long long>(ne) * t / nt);
+    hi = static_cast<int>(static_cast<long long>(ne) * (t + 1) / nt);
+  };
+
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nt) if (nt > 1)
+#endif
+  {
+#ifdef _OPENMP
+    const int t = nt > 1 ? omp_get_thread_num() : 0;
+#else
+    const int t = 0;
+#endif
+    double* out = t == 0 ? r.data() : racc[t - 1].data();
+    int lo, hi;
+    edge_range(t, lo, hi);
+    double ql[kMaxComponents], qr[kMaxComponents], f[kMaxComponents];
+    for (int e = lo; e < hi; ++e) {
+      const int i = edges[e][0], j = edges[e][1];
+      const double n[3] = {dual_.edge_normal[e][0], dual_.edge_normal[e][1],
+                           dual_.edge_normal[e][2]};
+      if (second_order) {
+        interface_states(q, grad, phi, i, j, ql, qr);
+      } else {
+        const std::size_t bi = q.base(i), bj = q.base(j);
+        for (int c = 0; c < ncomp; ++c) {
+          ql[c] = qd[bi + c * st];
+          qr[c] = qd[bj + c * st];
+        }
+      }
+      rusanov_flux(cfg_, ql, qr, n, f);
+      const std::size_t bi = q.base(i), bj = q.base(j);
+      for (int c = 0; c < ncomp; ++c) {
+        out[bi + c * st] += f[c];
+        out[bj + c * st] -= f[c];
+      }
+    }
+  }
+  // Reduce replicated arrays (the OpenMP "gather" cost the paper notes).
+  for (const auto& a : racc)
+    for (std::size_t k = 0; k < r.size(); ++k) r[k] += a[k];
+
+  // Boundary closure (serial; boundary work is a small fraction).
+  const auto& bfaces = mesh_.boundary_faces();
+  double qv[kMaxComponents], f[kMaxComponents];
+  for (std::size_t bf = 0; bf < bfaces.size(); ++bf) {
+    const auto& face = bfaces[bf];
+    const double n3[3] = {dual_.bface_normal[bf][0] / 3.0,
+                          dual_.bface_normal[bf][1] / 3.0,
+                          dual_.bface_normal[bf][2] / 3.0};
+    for (int lv = 0; lv < 3; ++lv) {
+      const int v = face.v[lv];
+      const std::size_t b = q.base(v);
+      for (int c = 0; c < ncomp; ++c) qv[c] = qd[b + c * st];
+      if (face.tag == mesh::BoundaryTag::kWall)
+        wall_flux(cfg_, qv, n3, f);
+      else
+        rusanov_flux(cfg_, qv, qinf_, n3, f);
+      for (int c = 0; c < ncomp; ++c) r[b + c * st] += f[c];
+    }
+  }
+}
+
+void EulerDiscretization::residual(const FlowField& q,
+                                   std::vector<double>& r) const {
+  residual_impl(q, r, 1);
+}
+
+void EulerDiscretization::residual_threaded(const FlowField& q,
+                                            std::vector<double>& r,
+                                            int threads) const {
+  residual_impl(q, r, threads);
+}
+
+void EulerDiscretization::spectral_radius(const FlowField& q,
+                                          std::vector<double>& sr) const {
+  const int nv = num_vertices();
+  const int ncomp = nb();
+  sr.assign(nv, 0.0);
+  const auto& edges = mesh_.edges();
+  const double* qd = q.data().data();
+  const std::size_t st = q.stride();
+  double qi[kMaxComponents], qj[kMaxComponents];
+  for (int e = 0; e < mesh_.num_edges(); ++e) {
+    const int i = edges[e][0], j = edges[e][1];
+    const double n[3] = {dual_.edge_normal[e][0], dual_.edge_normal[e][1],
+                         dual_.edge_normal[e][2]};
+    const std::size_t bi = q.base(i), bj = q.base(j);
+    for (int c = 0; c < ncomp; ++c) {
+      qi[c] = qd[bi + c * st];
+      qj[c] = qd[bj + c * st];
+    }
+    const double lam =
+        std::max(max_wave_speed(cfg_, qi, n), max_wave_speed(cfg_, qj, n));
+    sr[i] += lam;
+    sr[j] += lam;
+  }
+  const auto& bfaces = mesh_.boundary_faces();
+  for (std::size_t bf = 0; bf < bfaces.size(); ++bf) {
+    const auto& face = bfaces[bf];
+    const double n3[3] = {dual_.bface_normal[bf][0] / 3.0,
+                          dual_.bface_normal[bf][1] / 3.0,
+                          dual_.bface_normal[bf][2] / 3.0};
+    for (int lv = 0; lv < 3; ++lv) {
+      const int v = face.v[lv];
+      const std::size_t b = q.base(v);
+      for (int c = 0; c < ncomp; ++c) qi[c] = qd[b + c * st];
+      sr[v] += max_wave_speed(cfg_, qi, n3);
+    }
+  }
+}
+
+sparse::Bcsr<double> EulerDiscretization::allocate_jacobian() const {
+  sparse::Bcsr<double> jac;
+  jac.nb = nb();
+  jac.nrows = stencil_.n;
+  jac.ptr = stencil_.ptr;
+  jac.col = stencil_.col;
+  jac.val.assign(stencil_.nnz() * static_cast<std::size_t>(nb()) * nb(), 0.0);
+  return jac;
+}
+
+void EulerDiscretization::jacobian(const FlowField& q,
+                                   sparse::Bcsr<double>& jac) const {
+  const int ncomp = nb();
+  const std::size_t bsz = static_cast<std::size_t>(ncomp) * ncomp;
+  F3D_CHECK(jac.nrows == stencil_.n && jac.nb == ncomp);
+  std::fill(jac.val.begin(), jac.val.end(), 0.0);
+
+  // Index of block (i, j) in the stencil, via binary search per row.
+  auto block_at = [&](int i, int j) -> double* {
+    const int lo = jac.ptr[i], hi = jac.ptr[i + 1];
+    auto it = std::lower_bound(jac.col.begin() + lo, jac.col.begin() + hi, j);
+    F3D_CHECK(it != jac.col.begin() + hi && *it == j);
+    return &jac.val[static_cast<std::size_t>(it - jac.col.begin()) * bsz];
+  };
+
+  const auto& edges = mesh_.edges();
+  const double* qd = q.data().data();
+  const std::size_t st = q.stride();
+  double qi[kMaxComponents], qj[kMaxComponents];
+  std::vector<double> dl(bsz), dr(bsz);
+  for (int e = 0; e < mesh_.num_edges(); ++e) {
+    const int i = edges[e][0], j = edges[e][1];
+    const double n[3] = {dual_.edge_normal[e][0], dual_.edge_normal[e][1],
+                         dual_.edge_normal[e][2]};
+    const std::size_t bi = q.base(i), bj = q.base(j);
+    for (int c = 0; c < ncomp; ++c) {
+      qi[c] = qd[bi + c * st];
+      qj[c] = qd[bj + c * st];
+    }
+    rusanov_flux_jacobian(cfg_, qi, qj, n, dl.data(), dr.data());
+    double* jii = block_at(i, i);
+    double* jij = block_at(i, j);
+    double* jji = block_at(j, i);
+    double* jjj = block_at(j, j);
+    for (std::size_t k = 0; k < bsz; ++k) {
+      jii[k] += dl[k];
+      jij[k] += dr[k];
+      jji[k] -= dl[k];
+      jjj[k] -= dr[k];
+    }
+  }
+
+  const auto& bfaces = mesh_.boundary_faces();
+  std::vector<double> da(bsz), db(bsz);
+  for (std::size_t bf = 0; bf < bfaces.size(); ++bf) {
+    const auto& face = bfaces[bf];
+    const double n3[3] = {dual_.bface_normal[bf][0] / 3.0,
+                          dual_.bface_normal[bf][1] / 3.0,
+                          dual_.bface_normal[bf][2] / 3.0};
+    for (int lv = 0; lv < 3; ++lv) {
+      const int v = face.v[lv];
+      const std::size_t b = q.base(v);
+      for (int c = 0; c < ncomp; ++c) qi[c] = qd[b + c * st];
+      double* jvv = block_at(v, v);
+      if (face.tag == mesh::BoundaryTag::kWall) {
+        wall_flux_jacobian(cfg_, qi, n3, da.data());
+        for (std::size_t k = 0; k < bsz; ++k) jvv[k] += da[k];
+      } else {
+        // d/dq_v of rusanov(q_v, q_inf): the left-state Jacobian.
+        rusanov_flux_jacobian(cfg_, qi, qinf_, n3, da.data(), db.data());
+        for (std::size_t k = 0; k < bsz; ++k) jvv[k] += da[k];
+      }
+    }
+  }
+}
+
+double EulerDiscretization::residual_flops() const {
+  // Approximate per-edge flux cost (two physical fluxes, two wave speeds,
+  // the Rusanov combination), plus reconstruction when second order.
+  const int ncomp = nb();
+  const double per_edge =
+      cfg_.model == Model::kIncompressible ? 60.0 : 100.0;
+  const double reco = cfg_.order == 2 ? 14.0 * ncomp + 30.0 : 0.0;
+  return static_cast<double>(mesh_.num_edges()) * (per_edge + reco) +
+         static_cast<double>(mesh_.num_boundary_faces()) * 3 *
+             (per_edge * 0.7);
+}
+
+}  // namespace f3d::cfd

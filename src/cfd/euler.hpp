@@ -1,0 +1,99 @@
+#pragma once
+// Edge-based median-dual finite-volume discretization of the Euler
+// equations — the reimplementation of the paper's FUN3D workload.
+//
+// The residual at vertex i is the net flux out of its dual cell:
+//   r_i = sum_{edges (i,j)} F(q_i, q_j, n_ij) + boundary fluxes.
+// First-order uses vertex states directly; second-order reconstructs the
+// interface states with Green-Gauss gradients and a Venkatakrishnan
+// limiter (the paper's "flux-limited" convection scheme; §2.4.1's
+// first/second-order switch is FlowConfig::order).
+//
+// The analytic first-order Jacobian (frozen-coefficient Rusanov) feeds the
+// Schwarz/ILU preconditioner exactly as the paper prescribes; the true
+// Jacobian action for Newton-Krylov is matrix-free (finite differencing
+// of this residual), see solver/.
+
+#include <vector>
+
+#include "cfd/flux.hpp"
+#include "cfd/state.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/mesh.hpp"
+#include "sparse/assembly.hpp"
+#include "sparse/csr.hpp"
+
+namespace f3d::cfd {
+
+class EulerDiscretization {
+public:
+  /// Borrows the mesh; the mesh must outlive the discretization and must
+  /// not be re-permuted afterwards (metrics are cached).
+  EulerDiscretization(const mesh::UnstructuredMesh& mesh, FlowConfig cfg);
+
+  [[nodiscard]] const FlowConfig& config() const { return cfg_; }
+  /// Mutable access for parameter continuation (e.g. first -> second
+  /// order switchover during a run).
+  FlowConfig& config() { return cfg_; }
+
+  [[nodiscard]] const mesh::UnstructuredMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const mesh::DualMetrics& dual() const { return dual_; }
+  [[nodiscard]] int nb() const { return cfg_.nb(); }
+  [[nodiscard]] int num_vertices() const { return mesh_.num_vertices(); }
+  [[nodiscard]] int num_unknowns() const { return num_vertices() * nb(); }
+
+  /// Freestream-initialized field in the configured layout.
+  [[nodiscard]] FlowField make_freestream_field() const;
+
+  /// Steady residual r(q), same layout as q. Second-order if
+  /// config().order == 2.
+  void residual(const FlowField& q, std::vector<double>& r) const;
+
+  /// Same residual computed with `threads` OpenMP threads over the edge
+  /// loop, using replicated per-thread accumulation arrays (the paper's
+  /// §2.5 hybrid experiment notes exactly this redundant-array cost).
+  void residual_threaded(const FlowField& q, std::vector<double>& r,
+                         int threads) const;
+
+  /// Per-vertex spectral radius sum_faces (|Theta| + c |n|), for the local
+  /// pseudo-timestep dt_i = CFL * V_i / sr_i.
+  void spectral_radius(const FlowField& q, std::vector<double>& sr) const;
+
+  /// Vertex coupling stencil (self + neighbors) of the first-order
+  /// Jacobian.
+  [[nodiscard]] const sparse::Stencil& stencil() const { return stencil_; }
+
+  /// Allocate the block Jacobian with the right sparsity (values zero).
+  [[nodiscard]] sparse::Bcsr<double> allocate_jacobian() const;
+
+  /// Fill the analytic first-order Jacobian dr/dq at state q into `jac`
+  /// (allocated by allocate_jacobian). Always interlaced block layout.
+  void jacobian(const FlowField& q, sparse::Bcsr<double>& jac) const;
+
+  /// Green-Gauss gradients: grad[(v*nb + c)*3 + d] = d q_c / d x_d at
+  /// vertex v. Exposed for tests.
+  void gradients(const FlowField& q, std::vector<double>& grad) const;
+
+  /// Venkatakrishnan limiter values per (vertex, component) given the
+  /// gradients. 1 = unlimited. Exposed for tests.
+  void limiters(const FlowField& q, const std::vector<double>& grad,
+                std::vector<double>& phi) const;
+
+  /// Approximate floating-point work of one residual() call (for Gflop/s
+  /// reporting in the parallel experiments).
+  [[nodiscard]] double residual_flops() const;
+
+private:
+  const mesh::UnstructuredMesh& mesh_;
+  FlowConfig cfg_;
+  mesh::DualMetrics dual_;
+  sparse::Stencil stencil_;
+  double qinf_[kMaxComponents];
+
+  void residual_impl(const FlowField& q, std::vector<double>& r, int threads) const;
+  void interface_states(const FlowField& q, const std::vector<double>& grad,
+                        const std::vector<double>& phi, int i, int j,
+                        double* ql, double* qr) const;
+};
+
+}  // namespace f3d::cfd

@@ -1,0 +1,200 @@
+#include "cfd/flux.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace f3d::cfd {
+
+namespace {
+
+// Incompressible (artificial compressibility) state: q = (p, u, v, w).
+void incompressible_flux(double beta, const double* q, const double n[3],
+                         double* f) {
+  const double theta = q[1] * n[0] + q[2] * n[1] + q[3] * n[2];
+  f[0] = beta * theta;
+  f[1] = q[1] * theta + q[0] * n[0];
+  f[2] = q[2] * theta + q[0] * n[1];
+  f[3] = q[3] * theta + q[0] * n[2];
+}
+
+// Compressible conservative state: q = (rho, mx, my, mz, E).
+void compressible_flux(double gamma, const double* q, const double n[3],
+                       double* f) {
+  const double inv_rho = 1.0 / q[0];
+  const double u = q[1] * inv_rho, v = q[2] * inv_rho, w = q[3] * inv_rho;
+  const double theta = u * n[0] + v * n[1] + w * n[2];
+  const double p = (gamma - 1.0) * (q[4] - 0.5 * q[0] * (u * u + v * v + w * w));
+  f[0] = q[0] * theta;
+  f[1] = q[1] * theta + p * n[0];
+  f[2] = q[2] * theta + p * n[1];
+  f[3] = q[3] * theta + p * n[2];
+  f[4] = (q[4] + p) * theta;
+}
+
+}  // namespace
+
+double pressure(const FlowConfig& cfg, const double* q) {
+  if (cfg.model == Model::kIncompressible) return q[0];
+  const double inv_rho = 1.0 / q[0];
+  return (cfg.gamma - 1.0) *
+         (q[4] - 0.5 * inv_rho * (q[1] * q[1] + q[2] * q[2] + q[3] * q[3]));
+}
+
+void physical_flux(const FlowConfig& cfg, const double* q, const double n[3],
+                   double* f) {
+  if (cfg.model == Model::kIncompressible)
+    incompressible_flux(cfg.beta, q, n, f);
+  else
+    compressible_flux(cfg.gamma, q, n, f);
+}
+
+double max_wave_speed(const FlowConfig& cfg, const double* q,
+                      const double n[3]) {
+  const double nmag2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+  if (cfg.model == Model::kIncompressible) {
+    const double theta = q[1] * n[0] + q[2] * n[1] + q[3] * n[2];
+    // Eigenvalues of the artificial-compressibility system:
+    // theta, theta +/- sqrt(theta^2 + beta |n|^2).
+    return std::abs(theta) + std::sqrt(theta * theta + cfg.beta * nmag2);
+  }
+  const double inv_rho = 1.0 / q[0];
+  const double u = q[1] * inv_rho, v = q[2] * inv_rho, w = q[3] * inv_rho;
+  const double theta = u * n[0] + v * n[1] + w * n[2];
+  const double p =
+      (cfg.gamma - 1.0) * (q[4] - 0.5 * q[0] * (u * u + v * v + w * w));
+  const double c2 = cfg.gamma * p * inv_rho;
+  // Guard against transient negative pressure during strong updates.
+  const double c = std::sqrt(c2 > 0 ? c2 : 0.0);
+  return std::abs(theta) + c * std::sqrt(nmag2);
+}
+
+void rusanov_flux(const FlowConfig& cfg, const double* ql, const double* qr,
+                  const double n[3], double* f) {
+  const int nb = cfg.nb();
+  double fl[kMaxComponents], fr[kMaxComponents];
+  physical_flux(cfg, ql, n, fl);
+  physical_flux(cfg, qr, n, fr);
+  const double lam =
+      std::max(max_wave_speed(cfg, ql, n), max_wave_speed(cfg, qr, n));
+  for (int c = 0; c < nb; ++c)
+    f[c] = 0.5 * (fl[c] + fr[c]) - 0.5 * lam * (qr[c] - ql[c]);
+}
+
+void flux_jacobian(const FlowConfig& cfg, const double* q, const double n[3],
+                   double* a) {
+  if (cfg.model == Model::kIncompressible) {
+    const double beta = cfg.beta;
+    const double u = q[1], v = q[2], w = q[3];
+    const double theta = u * n[0] + v * n[1] + w * n[2];
+    // Rows: (p, u, v, w); d/d(p, u, v, w).
+    const double rows[16] = {
+        0,    beta * n[0],     beta * n[1],     beta * n[2],
+        n[0], theta + u * n[0], u * n[1],        u * n[2],
+        n[1], v * n[0],        theta + v * n[1], v * n[2],
+        n[2], w * n[0],        w * n[1],        theta + w * n[2]};
+    for (int i = 0; i < 16; ++i) a[i] = rows[i];
+    return;
+  }
+  const double g1 = cfg.gamma - 1.0;
+  const double inv_rho = 1.0 / q[0];
+  const double u[3] = {q[1] * inv_rho, q[2] * inv_rho, q[3] * inv_rho};
+  const double theta = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
+  const double ke = 0.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+  const double p = g1 * (q[4] - q[0] * ke);
+  const double h = (q[4] + p) * inv_rho;  // total enthalpy
+
+  // Row 0: mass.
+  a[0] = 0;
+  a[1] = n[0];
+  a[2] = n[1];
+  a[3] = n[2];
+  a[4] = 0;
+  // Rows 1..3: momentum i.
+  for (int i = 0; i < 3; ++i) {
+    double* row = a + (i + 1) * 5;
+    row[0] = g1 * ke * n[i] - u[i] * theta;
+    for (int j = 0; j < 3; ++j)
+      row[1 + j] = u[i] * n[j] - g1 * u[j] * n[i] + (i == j ? theta : 0.0);
+    row[4] = g1 * n[i];
+  }
+  // Row 4: energy.
+  {
+    double* row = a + 4 * 5;
+    row[0] = (g1 * ke - h) * theta;
+    for (int j = 0; j < 3; ++j) row[1 + j] = h * n[j] - g1 * u[j] * theta;
+    row[4] = cfg.gamma * theta;
+  }
+}
+
+void rusanov_flux_jacobian(const FlowConfig& cfg, const double* ql,
+                           const double* qr, const double n[3], double* dl,
+                           double* dr) {
+  const int nb = cfg.nb();
+  flux_jacobian(cfg, ql, n, dl);
+  flux_jacobian(cfg, qr, n, dr);
+  const double lam =
+      std::max(max_wave_speed(cfg, ql, n), max_wave_speed(cfg, qr, n));
+  for (int i = 0; i < nb * nb; ++i) {
+    dl[i] *= 0.5;
+    dr[i] *= 0.5;
+  }
+  for (int i = 0; i < nb; ++i) {
+    dl[i * nb + i] += 0.5 * lam;
+    dr[i * nb + i] -= 0.5 * lam;
+  }
+}
+
+void wall_flux(const FlowConfig& cfg, const double* q, const double n[3],
+               double* f) {
+  const double p = pressure(cfg, q);
+  f[0] = 0;
+  f[1] = p * n[0];
+  f[2] = p * n[1];
+  f[3] = p * n[2];
+  if (cfg.model == Model::kCompressible) f[4] = 0;
+}
+
+void wall_flux_jacobian(const FlowConfig& cfg, const double* q,
+                        const double n[3], double* a) {
+  const int nb = cfg.nb();
+  for (int i = 0; i < nb * nb; ++i) a[i] = 0;
+  if (cfg.model == Model::kIncompressible) {
+    // p is the first unknown: d(p n_i)/dp = n_i.
+    a[1 * nb + 0] = n[0];
+    a[2 * nb + 0] = n[1];
+    a[3 * nb + 0] = n[2];
+    return;
+  }
+  const double g1 = cfg.gamma - 1.0;
+  const double inv_rho = 1.0 / q[0];
+  const double u[3] = {q[1] * inv_rho, q[2] * inv_rho, q[3] * inv_rho};
+  const double ke = 0.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+  // dp/dq = (g1*ke, -g1*u, -g1*v, -g1*w, g1).
+  const double dp[5] = {g1 * ke, -g1 * u[0], -g1 * u[1], -g1 * u[2], g1};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 5; ++j) a[(i + 1) * nb + j] = n[i] * dp[j];
+}
+
+void freestream_state(const FlowConfig& cfg, double* q) {
+  const double alpha = cfg.alpha_deg * M_PI / 180.0;
+  if (cfg.model == Model::kIncompressible) {
+    q[0] = 0.0;  // gauge pressure
+    q[1] = std::cos(alpha);
+    q[2] = 0.0;
+    q[3] = std::sin(alpha);
+    return;
+  }
+  // rho = 1, p chosen so the sound speed is 1 -> speed = Mach.
+  const double p = 1.0 / cfg.gamma;
+  const double speed = cfg.mach;
+  const double u = speed * std::cos(alpha);
+  const double w = speed * std::sin(alpha);
+  q[0] = 1.0;
+  q[1] = u;
+  q[2] = 0.0;
+  q[3] = w;
+  q[4] = p / (cfg.gamma - 1.0) + 0.5 * (u * u + w * w);
+}
+
+}  // namespace f3d::cfd

@@ -1,0 +1,63 @@
+#pragma once
+// Pointwise flux physics for both Euler models.
+//
+// All fluxes are through an *unnormalized* area vector n (the median-dual
+// face integral), so no per-face normalization is needed in the hot loop.
+// The numerical interface flux is Rusanov (local Lax-Friedrichs):
+//   F(qL, qR, n) = 1/2 (F(qL,n) + F(qR,n)) - 1/2 lambda_max (qR - qL).
+// The paper's FUN3D uses a characteristics-based upwind scheme; Rusanov
+// exercises the identical data-motion pattern (the performance object of
+// study) and admits a compact analytic Jacobian for the first-order
+// preconditioner matrix, which is what §2.4.1 prescribes ("the
+// preconditioner matrix is always built out of a first-order analytical
+// Jacobian"). Substitution recorded in DESIGN.md.
+
+#include <array>
+
+#include "cfd/state.hpp"
+
+namespace f3d::cfd {
+
+inline constexpr int kMaxComponents = 5;
+
+/// Analytic flux F(q, n); q and f have cfg.nb() entries.
+void physical_flux(const FlowConfig& cfg, const double* q, const double n[3],
+                   double* f);
+
+/// Max wave speed |Theta| + c*|n| of state q through area vector n
+/// (the Rusanov dissipation coefficient and timestep spectral radius).
+double max_wave_speed(const FlowConfig& cfg, const double* q,
+                      const double n[3]);
+
+/// Rusanov interface flux.
+void rusanov_flux(const FlowConfig& cfg, const double* ql, const double* qr,
+                  const double n[3], double* f);
+
+/// Analytic Jacobian A = dF/dq (row-major nb x nb) of the physical flux.
+void flux_jacobian(const FlowConfig& cfg, const double* q, const double n[3],
+                   double* a);
+
+/// Jacobian of the Rusanov flux w.r.t. left and right states with frozen
+/// dissipation coefficient (the "first-order analytical Jacobian"
+/// approximation): dF/dqL = 1/2 A(qL) + 1/2 lambda I,
+///                 dF/dqR = 1/2 A(qR) - 1/2 lambda I.
+void rusanov_flux_jacobian(const FlowConfig& cfg, const double* ql,
+                           const double* qr, const double n[3], double* dl,
+                           double* dr);
+
+/// Slip-wall flux: pressure force only, no mass/energy flux.
+void wall_flux(const FlowConfig& cfg, const double* q, const double n[3],
+               double* f);
+
+/// Jacobian of the slip-wall flux w.r.t. the interior state.
+void wall_flux_jacobian(const FlowConfig& cfg, const double* q,
+                        const double n[3], double* a);
+
+/// Freestream state for the configured flow (unit speed incompressible;
+/// rho = 1, a = 1 compressible).
+void freestream_state(const FlowConfig& cfg, double* q);
+
+/// Pressure of a state (p itself for incompressible).
+double pressure(const FlowConfig& cfg, const double* q);
+
+}  // namespace f3d::cfd

@@ -1,0 +1,62 @@
+#include "cfd/problem.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace f3d::cfd {
+
+EulerProblem::EulerProblem(EulerDiscretization& disc,
+                           double switch_to_second_at)
+    : disc_(disc),
+      switch_to_second_at_(switch_to_second_at),
+      field_(disc.num_vertices(), disc.nb(), sparse::FieldLayout::kInterlaced) {
+  F3D_CHECK_MSG(disc.config().layout == sparse::FieldLayout::kInterlaced,
+                "EulerProblem requires interlaced layout");
+  if (switch_to_second_at_ > 0.0 || switch_to_second_at_ < 0.0)
+    disc_.config().order = 1;  // start first order; maybe switch later
+}
+
+void EulerProblem::load(const std::vector<double>& x) {
+  F3D_CHECK(static_cast<int>(x.size()) == num_unknowns());
+  field_.data() = x;
+}
+
+void EulerProblem::residual(const std::vector<double>& x,
+                            std::vector<double>& r) {
+  load(x);
+  disc_.residual(field_, r);
+}
+
+void EulerProblem::jacobian(const std::vector<double>& x,
+                            sparse::Bcsr<double>& jac) {
+  load(x);
+  disc_.jacobian(field_, jac);
+}
+
+void EulerProblem::timestep_scale(const std::vector<double>& x,
+                                  std::vector<double>& vol_over_sr) {
+  load(x);
+  std::vector<double> sr;
+  disc_.spectral_radius(field_, sr);
+  const auto& vol = disc_.dual().vertex_volume;
+  vol_over_sr.resize(sr.size());
+  for (std::size_t v = 0; v < sr.size(); ++v) {
+    F3D_CHECK(sr[v] > 0);
+    vol_over_sr[v] = vol[v] / sr[v];
+  }
+}
+
+void EulerProblem::on_step(int /*step*/, double residual_ratio) {
+  if (switch_to_second_at_ > 0.0 && disc_.config().order == 1 &&
+      residual_ratio < switch_to_second_at_) {
+    disc_.config().order = 2;
+  }
+}
+
+std::vector<double> EulerProblem::initial_state() const {
+  auto f = disc_.make_freestream_field();
+  return f.data();
+}
+
+}  // namespace f3d::cfd

@@ -1,0 +1,60 @@
+#pragma once
+// Adapter presenting the Euler discretization as a solver::NonlinearProblem
+// for the psi-NKS driver, including the paper's first->second order
+// discretization switchover (§2.4.1: "we normally reduce the first two to
+// four orders of residual norm with the first-order discretization, then
+// switch to second").
+
+#include "cfd/euler.hpp"
+#include "solver/newton.hpp"
+
+namespace f3d::cfd {
+
+class EulerProblem final : public solver::NonlinearProblem {
+public:
+  /// `disc` must use the interlaced layout (the solver's native order) and
+  /// must outlive the problem.
+  /// `switch_to_second_at`: residual ratio below which the flux switches
+  /// from first to second order. 0 = second order from the start (the
+  /// paper's choice for shock-free flows); a negative value = stay first
+  /// order throughout.
+  explicit EulerProblem(EulerDiscretization& disc,
+                        double switch_to_second_at = 0.0);
+
+  [[nodiscard]] int num_vertices() const override {
+    return disc_.num_vertices();
+  }
+  [[nodiscard]] int nb() const override { return disc_.nb(); }
+
+  void residual(const std::vector<double>& x, std::vector<double>& r) override;
+
+  [[nodiscard]] sparse::Bcsr<double> allocate_jacobian() const override {
+    return disc_.allocate_jacobian();
+  }
+  void jacobian(const std::vector<double>& x,
+                sparse::Bcsr<double>& jac) override;
+
+  void timestep_scale(const std::vector<double>& x,
+                      std::vector<double>& vol_over_sr) override;
+
+  void cell_volumes(std::vector<double>& vol) const override {
+    vol = disc_.dual().vertex_volume;
+  }
+
+  void on_step(int step, double residual_ratio) override;
+
+  [[nodiscard]] const EulerDiscretization& discretization() const {
+    return disc_;
+  }
+  /// Initial state: freestream everywhere.
+  [[nodiscard]] std::vector<double> initial_state() const;
+
+private:
+  void load(const std::vector<double>& x);
+
+  EulerDiscretization& disc_;
+  double switch_to_second_at_;
+  FlowField field_;
+};
+
+}  // namespace f3d::cfd

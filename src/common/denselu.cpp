@@ -1,0 +1,72 @@
+#include "common/denselu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace f3d::dense {
+
+bool DenseLu::factor(int n, const double* a) {
+  F3D_CHECK(n >= 1);
+  n_ = n;
+  lu_.assign(a, a + static_cast<std::size_t>(n) * n);
+  piv_.resize(n);
+  ok_ = true;
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at or below row k.
+    int p = k;
+    double best = std::abs(lu_[static_cast<std::size_t>(k) * n + k]);
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_[static_cast<std::size_t>(i) * n + k]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv_[k] = p;
+    if (best == 0.0) {
+      ok_ = false;
+      return false;
+    }
+    if (p != k)
+      for (int j = 0; j < n; ++j)
+        std::swap(lu_[static_cast<std::size_t>(k) * n + j],
+                  lu_[static_cast<std::size_t>(p) * n + j]);
+    const double inv = 1.0 / lu_[static_cast<std::size_t>(k) * n + k];
+    for (int i = k + 1; i < n; ++i) {
+      const double lik = lu_[static_cast<std::size_t>(i) * n + k] * inv;
+      lu_[static_cast<std::size_t>(i) * n + k] = lik;
+      for (int j = k + 1; j < n; ++j)
+        lu_[static_cast<std::size_t>(i) * n + j] -=
+            lik * lu_[static_cast<std::size_t>(k) * n + j];
+    }
+  }
+  return true;
+}
+
+void DenseLu::solve(const double* b, double* x) const {
+  F3D_CHECK_MSG(ok_, "solve on unfactored/singular DenseLu");
+  const int n = n_;
+  if (x != b)
+    for (int i = 0; i < n; ++i) x[i] = b[i];
+  // Apply row permutation.
+  for (int k = 0; k < n; ++k)
+    if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+  // Forward (unit L).
+  for (int i = 1; i < n; ++i) {
+    double s = x[i];
+    for (int j = 0; j < i; ++j)
+      s -= lu_[static_cast<std::size_t>(i) * n + j] * x[j];
+    x[i] = s;
+  }
+  // Backward (U).
+  for (int i = n - 1; i >= 0; --i) {
+    double s = x[i];
+    for (int j = i + 1; j < n; ++j)
+      s -= lu_[static_cast<std::size_t>(i) * n + j] * x[j];
+    x[i] = s / lu_[static_cast<std::size_t>(i) * n + i];
+  }
+}
+
+}  // namespace f3d::dense

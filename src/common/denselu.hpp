@@ -1,0 +1,32 @@
+#pragma once
+// General dense LU with partial pivoting, for small dense systems that
+// are not diagonally dominant — notably the coarse-space operator of the
+// two-level Schwarz preconditioner (size = subdomains x components).
+
+#include <vector>
+
+namespace f3d::dense {
+
+/// Dense row-major matrix with in-place factorization and solve.
+class DenseLu {
+public:
+  DenseLu() = default;
+
+  /// Factor a row-major n x n matrix (copied). Returns false if
+  /// numerically singular.
+  bool factor(int n, const double* a);
+
+  /// Solve A x = b using the stored factors; x may alias b.
+  void solve(const double* b, double* x) const;
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+private:
+  int n_ = 0;
+  bool ok_ = false;
+  std::vector<double> lu_;   ///< packed L\U factors
+  std::vector<int> piv_;     ///< row permutation
+};
+
+}  // namespace f3d::dense

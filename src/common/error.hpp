@@ -1,0 +1,46 @@
+#pragma once
+// Error handling utilities for the f3d library.
+//
+// Library code throws f3d::Error on precondition violations and
+// unrecoverable numerical failures; hot loops use F3D_ASSERT which compiles
+// out in release unless F3D_ENABLE_ASSERTS is defined.
+
+#include <stdexcept>
+#include <string>
+
+namespace f3d {
+
+/// Exception type thrown by all f3d components.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
+              cond + "` failed" + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+/// Always-on check for API preconditions and invariants.
+#define F3D_CHECK(cond)                                      \
+  do {                                                       \
+    if (!(cond)) ::f3d::detail::raise(#cond, __FILE__, __LINE__, {}); \
+  } while (0)
+
+/// Always-on check with a context message.
+#define F3D_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::f3d::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only assert for hot loops.
+#if defined(F3D_ENABLE_ASSERTS)
+#define F3D_ASSERT(cond) F3D_CHECK(cond)
+#else
+#define F3D_ASSERT(cond) ((void)0)
+#endif
+
+}  // namespace f3d

@@ -1,0 +1,67 @@
+#include "common/options.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace f3d {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() > 1 && arg[0] == '-' &&
+        !(arg.size() > 1 && (std::isdigit(static_cast<unsigned char>(arg[1])) ||
+                             arg[1] == '.'))) {
+      std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+      // Value = next token unless it is another option.
+      if (i + 1 < argc) {
+        std::string next = argv[i + 1];
+        bool next_is_opt =
+            next.size() > 1 && next[0] == '-' &&
+            !std::isdigit(static_cast<unsigned char>(next[1])) && next[1] != '.';
+        if (!next_is_opt) {
+          kv_[key] = next;
+          ++i;
+          continue;
+        }
+      }
+      kv_[key] = "";
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+int Options::get_int(const std::string& name, int fallback) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::atoi(it->second.c_str());
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::atof(it->second.c_str());
+}
+
+std::string Options::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return fallback;
+  if (it->second.empty()) return true;  // bare flag
+  return it->second == "1" || it->second == "true" || it->second == "yes" ||
+         it->second == "on";
+}
+
+void Options::set(const std::string& name, const std::string& value) {
+  kv_[name] = value;
+}
+
+}  // namespace f3d

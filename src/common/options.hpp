@@ -1,0 +1,39 @@
+#pragma once
+// Tiny command-line option parser in the spirit of PETSc's options
+// database: `-key value` or `-flag`. Examples and benches use it so every
+// experiment's parameters can be overridden from the shell.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace f3d {
+
+class Options {
+public:
+  Options() = default;
+  Options(int argc, const char* const* argv);
+
+  /// True if `-name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Set programmatically (tests).
+  void set(const std::string& name, const std::string& value);
+
+  /// Positional (non-option) arguments.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace f3d

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic, fast PRNG (xoshiro256**). All randomized components of the
+// library (mesh vertex shuffles, synthetic workloads, partitioner seeds)
+// take an explicit seed so every experiment is reproducible.
+
+#include <cstdint>
+#include <utility>
+
+namespace f3d {
+
+/// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to fill the state from a single word.
+    std::uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle with an f3d::Rng (deterministic given the seed).
+template <class Vec>
+void shuffle(Vec& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace f3d

@@ -1,0 +1,70 @@
+#pragma once
+// Wall-clock timing utilities.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace f3d {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+public:
+  Timer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named time buckets (e.g. "flux", "spmv", "trisolve").
+/// Used by the solver to report the per-phase breakdown the paper's
+/// Table 3 analyses.
+class PhaseTimers {
+public:
+  /// RAII scope: adds elapsed time to the named bucket on destruction.
+  class Scope {
+  public:
+    Scope(PhaseTimers& owner, std::string name)
+        : owner_(owner), name_(std::move(name)) {}
+    ~Scope() { owner_.add(name_, t_.seconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+  private:
+    PhaseTimers& owner_;
+    std::string name_;
+    Timer t_;
+  };
+
+  void add(const std::string& name, double sec) { buckets_[name] += sec; }
+
+  [[nodiscard]] double get(const std::string& name) const {
+    auto it = buckets_.find(name);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double total() const {
+    double s = 0;
+    for (const auto& [k, v] : buckets_) s += v;
+    return s;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& buckets() const {
+    return buckets_;
+  }
+
+  void clear() { buckets_.clear(); }
+
+private:
+  std::map<std::string, double> buckets_;
+};
+
+}  // namespace f3d

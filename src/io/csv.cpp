@@ -1,0 +1,76 @@
+#include "io/csv.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace f3d::io {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  F3D_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  F3D_CHECK_MSG(row.size() == header_.size(), "CSV row arity mismatch");
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << header_[c];
+  os << "\n";
+  char buf[64];
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::snprintf(buf, sizeof buf, "%.12g", row[c]);
+      os << (c ? "," : "") << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  F3D_CHECK_MSG(f != nullptr, "cannot open " + path);
+  const auto s = to_string();
+  const std::size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  const int rc = std::fclose(f);
+  F3D_CHECK_MSG(written == s.size() && rc == 0, "write failure on " + path);
+}
+
+namespace {
+constexpr std::uint64_t kStateMagic = 0xf3d57a7eULL;
+}  // namespace
+
+void write_state(const std::string& path, const std::vector<double>& x) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  F3D_CHECK_MSG(f != nullptr, "cannot open " + path);
+  const std::uint64_t magic = kStateMagic;
+  const std::uint64_t count = x.size();
+  bool ok = std::fwrite(&magic, sizeof magic, 1, f) == 1 &&
+            std::fwrite(&count, sizeof count, 1, f) == 1 &&
+            std::fwrite(x.data(), sizeof(double), x.size(), f) == x.size();
+  ok = (std::fclose(f) == 0) && ok;
+  F3D_CHECK_MSG(ok, "write failure on " + path);
+}
+
+std::vector<double> read_state(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  F3D_CHECK_MSG(f != nullptr, "cannot open " + path);
+  std::uint64_t magic = 0, count = 0;
+  bool ok = std::fread(&magic, sizeof magic, 1, f) == 1 &&
+            std::fread(&count, sizeof count, 1, f) == 1;
+  F3D_CHECK_MSG(ok && magic == kStateMagic, "not an f3d state file: " + path);
+  std::vector<double> x(count);
+  ok = std::fread(x.data(), sizeof(double), count, f) == count;
+  std::fclose(f);
+  F3D_CHECK_MSG(ok, "truncated state file: " + path);
+  return x;
+}
+
+}  // namespace f3d::io

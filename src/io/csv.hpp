@@ -1,0 +1,36 @@
+#pragma once
+// Tiny CSV writer for benchmark series (figure data), so each bench can
+// emit machine-readable output next to its human-readable table.
+
+#include <string>
+#include <vector>
+
+namespace f3d::io {
+
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<double>& row);
+
+  /// Write to file; throws f3d::Error on failure.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Binary checkpoint of a solution vector (magic + count + raw doubles).
+/// Used for warm-starting analysis cycles (the paper's design-optimization
+/// loop motivation: "time to reach the steady-state solution in each
+/// analysis cycle is crucial").
+void write_state(const std::string& path, const std::vector<double>& x);
+
+/// Read a checkpoint written by write_state. Throws f3d::Error on a
+/// missing/corrupt file.
+std::vector<double> read_state(const std::string& path);
+
+}  // namespace f3d::io

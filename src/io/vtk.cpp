@@ -1,0 +1,91 @@
+#include "io/vtk.hpp"
+
+#include <cstdio>
+
+#include "cfd/flux.hpp"
+#include "common/error.hpp"
+
+namespace f3d::io {
+
+void write_vtk(const std::string& path, const mesh::UnstructuredMesh& mesh,
+               const std::vector<VtkField>& fields) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  F3D_CHECK_MSG(f != nullptr, "cannot open " + path);
+  const int nv = mesh.num_vertices();
+  const int nt = mesh.num_tets();
+
+  std::fprintf(f, "# vtk DataFile Version 3.0\nfun3d-repro solution\n"
+                  "ASCII\nDATASET UNSTRUCTURED_GRID\n");
+  std::fprintf(f, "POINTS %d double\n", nv);
+  for (const auto& p : mesh.coords())
+    std::fprintf(f, "%.10g %.10g %.10g\n", p[0], p[1], p[2]);
+
+  std::fprintf(f, "CELLS %d %d\n", nt, 5 * nt);
+  for (const auto& t : mesh.tets())
+    std::fprintf(f, "4 %d %d %d %d\n", t[0], t[1], t[2], t[3]);
+  std::fprintf(f, "CELL_TYPES %d\n", nt);
+  for (int t = 0; t < nt; ++t) std::fprintf(f, "10\n");  // VTK_TETRA
+
+  if (!fields.empty()) {
+    std::fprintf(f, "POINT_DATA %d\n", nv);
+    for (const auto& field : fields) {
+      F3D_CHECK_MSG(static_cast<int>(field.data.size()) ==
+                        nv * field.components,
+                    "field size mismatch: " + field.name);
+      if (field.components == 1) {
+        std::fprintf(f, "SCALARS %s double 1\nLOOKUP_TABLE default\n",
+                     field.name.c_str());
+        for (int v = 0; v < nv; ++v)
+          std::fprintf(f, "%.10g\n", field.data[v]);
+      } else {
+        F3D_CHECK_MSG(field.components == 3,
+                      "VTK fields must have 1 or 3 components");
+        std::fprintf(f, "VECTORS %s double\n", field.name.c_str());
+        for (int v = 0; v < nv; ++v)
+          std::fprintf(f, "%.10g %.10g %.10g\n",
+                       field.data[static_cast<std::size_t>(v) * 3],
+                       field.data[static_cast<std::size_t>(v) * 3 + 1],
+                       field.data[static_cast<std::size_t>(v) * 3 + 2]);
+      }
+    }
+  }
+  const int rc = std::fclose(f);
+  F3D_CHECK_MSG(rc == 0, "write failure on " + path);
+}
+
+void write_flow_vtk(const std::string& path,
+                    const mesh::UnstructuredMesh& mesh,
+                    const cfd::FlowConfig& cfg, const std::vector<double>& x) {
+  const int nv = mesh.num_vertices();
+  const int nb = cfg.nb();
+  F3D_CHECK(static_cast<int>(x.size()) == nv * nb);
+
+  std::vector<VtkField> fields;
+  VtkField pressure{"pressure", 1, std::vector<double>(nv)};
+  VtkField velocity{"velocity", 3, std::vector<double>(nv * 3)};
+  for (int v = 0; v < nv; ++v) {
+    const double* q = &x[static_cast<std::size_t>(v) * nb];
+    pressure.data[v] = cfd::pressure(cfg, q);
+    if (cfg.model == cfd::Model::kIncompressible) {
+      velocity.data[static_cast<std::size_t>(v) * 3] = q[1];
+      velocity.data[static_cast<std::size_t>(v) * 3 + 1] = q[2];
+      velocity.data[static_cast<std::size_t>(v) * 3 + 2] = q[3];
+    } else {
+      const double inv_rho = 1.0 / q[0];
+      velocity.data[static_cast<std::size_t>(v) * 3] = q[1] * inv_rho;
+      velocity.data[static_cast<std::size_t>(v) * 3 + 1] = q[2] * inv_rho;
+      velocity.data[static_cast<std::size_t>(v) * 3 + 2] = q[3] * inv_rho;
+    }
+  }
+  fields.push_back(std::move(pressure));
+  fields.push_back(std::move(velocity));
+  if (cfg.model == cfd::Model::kCompressible) {
+    VtkField rho{"density", 1, std::vector<double>(nv)};
+    for (int v = 0; v < nv; ++v)
+      rho.data[v] = x[static_cast<std::size_t>(v) * nb];
+    fields.push_back(std::move(rho));
+  }
+  write_vtk(path, mesh, fields);
+}
+
+}  // namespace f3d::io

@@ -1,0 +1,33 @@
+#pragma once
+// Legacy-VTK (ASCII) writer for meshes and vertex-centered solution
+// fields, so example runs can be inspected in ParaView/VisIt. Only the
+// subset of the format needed for tetrahedral point data is emitted.
+
+#include <string>
+#include <vector>
+
+#include "cfd/state.hpp"
+#include "mesh/mesh.hpp"
+
+namespace f3d::io {
+
+/// A named per-vertex scalar or vector field to attach to the mesh.
+struct VtkField {
+  std::string name;
+  int components = 1;  ///< 1 (scalar) or 3 (vector)
+  std::vector<double> data;  ///< num_vertices * components, interleaved
+};
+
+/// Write mesh + fields to `path` in legacy VTK unstructured-grid format.
+/// Throws f3d::Error on I/O failure.
+void write_vtk(const std::string& path, const mesh::UnstructuredMesh& mesh,
+               const std::vector<VtkField>& fields = {});
+
+/// Convenience: decompose a flow state into named fields (pressure,
+/// velocity for incompressible; density, momentum, energy, pressure for
+/// compressible) and write them.
+void write_flow_vtk(const std::string& path,
+                    const mesh::UnstructuredMesh& mesh,
+                    const cfd::FlowConfig& cfg, const std::vector<double>& x);
+
+}  // namespace f3d::io

@@ -1,0 +1,138 @@
+#include "mesh/dual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace f3d::mesh {
+
+namespace {
+
+// For each of the 6 local edges (p,q), the other two local vertices (r,s)
+// ordered so that (p,q,r,s) is an even permutation of (0,1,2,3); this makes
+// the quad diagonal formula below yield a normal oriented from p to q in a
+// positively oriented tet.
+constexpr int kEdgeTable[6][4] = {{0, 1, 2, 3}, {0, 2, 3, 1}, {0, 3, 1, 2},
+                                  {1, 2, 0, 3}, {1, 3, 2, 0}, {2, 3, 0, 1}};
+
+using Vec3 = std::array<double, 3>;
+
+Vec3 sub(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+}  // namespace
+
+DualMetrics compute_dual_metrics(const UnstructuredMesh& mesh) {
+  const auto& coords = mesh.coords();
+  const auto& tets = mesh.tets();
+  const auto& edges = mesh.edges();
+  const int nv = mesh.num_vertices();
+  const int ne = mesh.num_edges();
+
+  DualMetrics dual;
+  dual.edge_normal.assign(ne, {0, 0, 0});
+  dual.vertex_volume.assign(nv, 0.0);
+
+  // Map (i<j) vertex pair -> edge index under the current edge ordering.
+  std::map<std::array<int, 2>, int> edge_id;
+  for (int e = 0; e < ne; ++e) edge_id[edges[e]] = e;
+
+  for (int t = 0; t < mesh.num_tets(); ++t) {
+    const auto& tet = tets[t];
+    const double vol = mesh.tet_volume(t);
+    F3D_CHECK_MSG(vol > 0, "negatively oriented or degenerate tet");
+    for (int lv = 0; lv < 4; ++lv) dual.vertex_volume[tet[lv]] += vol / 4.0;
+
+    const Vec3& x0 = coords[tet[0]];
+    const Vec3& x1 = coords[tet[1]];
+    const Vec3& x2 = coords[tet[2]];
+    const Vec3& x3 = coords[tet[3]];
+    const Vec3 cen = {(x0[0] + x1[0] + x2[0] + x3[0]) / 4.0,
+                      (x0[1] + x1[1] + x2[1] + x3[1]) / 4.0,
+                      (x0[2] + x1[2] + x2[2] + x3[2]) / 4.0};
+
+    for (const auto& le : kEdgeTable) {
+      const int p = tet[le[0]], q = tet[le[1]], r = tet[le[2]], s = tet[le[3]];
+      const Vec3& xp = coords[p];
+      const Vec3& xq = coords[q];
+      const Vec3& xr = coords[r];
+      const Vec3& xs = coords[s];
+      const Vec3 mid = {(xp[0] + xq[0]) / 2.0, (xp[1] + xq[1]) / 2.0,
+                        (xp[2] + xq[2]) / 2.0};
+      const Vec3 fr = {(xp[0] + xq[0] + xr[0]) / 3.0,
+                       (xp[1] + xq[1] + xr[1]) / 3.0,
+                       (xp[2] + xq[2] + xr[2]) / 3.0};
+      const Vec3 fs = {(xp[0] + xq[0] + xs[0]) / 3.0,
+                       (xp[1] + xq[1] + xs[1]) / 3.0,
+                       (xp[2] + xq[2] + xs[2]) / 3.0};
+      // Quad (mid, fr, cen, fs): area vector = 1/2 (d1 x d2) with diagonals
+      // d1 = cen - mid, d2 = fs - fr; oriented p -> q by the table's parity.
+      const Vec3 d1 = sub(cen, mid);
+      const Vec3 d2 = sub(fs, fr);
+      const Vec3 n = cross(d1, d2);
+
+      int a = p, b = q;
+      double sign = 1.0;
+      if (a > b) {
+        std::swap(a, b);
+        sign = -1.0;
+      }
+      auto it = edge_id.find({a, b});
+      F3D_CHECK_MSG(it != edge_id.end(), "tet edge missing from edge list");
+      auto& acc = dual.edge_normal[it->second];
+      for (int d = 0; d < 3; ++d) acc[d] += sign * 0.5 * n[d];
+    }
+  }
+
+  // Boundary face outward area vectors.
+  const auto& bfaces = mesh.boundary_faces();
+  dual.bface_normal.resize(bfaces.size());
+  for (std::size_t f = 0; f < bfaces.size(); ++f) {
+    const auto& v = bfaces[f].v;
+    const Vec3 e1 = sub(coords[v[1]], coords[v[0]]);
+    const Vec3 e2 = sub(coords[v[2]], coords[v[0]]);
+    const Vec3 n = cross(e1, e2);
+    dual.bface_normal[f] = {0.5 * n[0], 0.5 * n[1], 0.5 * n[2]};
+  }
+  return dual;
+}
+
+double closure_defect(const UnstructuredMesh& mesh, const DualMetrics& dual) {
+  const int nv = mesh.num_vertices();
+  std::vector<std::array<double, 3>> acc(nv, {0, 0, 0});
+  const auto& edges = mesh.edges();
+  for (int e = 0; e < mesh.num_edges(); ++e) {
+    // Outward from edges[e][0]; inward (negative) for edges[e][1].
+    for (int d = 0; d < 3; ++d) {
+      acc[edges[e][0]][d] += dual.edge_normal[e][d];
+      acc[edges[e][1]][d] -= dual.edge_normal[e][d];
+    }
+  }
+  const auto& bfaces = mesh.boundary_faces();
+  double mean_area = 0;
+  for (std::size_t f = 0; f < bfaces.size(); ++f) {
+    const auto& n = dual.bface_normal[f];
+    mean_area += std::sqrt(n[0] * n[0] + n[1] * n[1] + n[2] * n[2]);
+    for (int lv = 0; lv < 3; ++lv)
+      for (int d = 0; d < 3; ++d) acc[bfaces[f].v[lv]][d] += n[d] / 3.0;
+  }
+  mean_area /= bfaces.empty() ? 1.0 : static_cast<double>(bfaces.size());
+  if (mean_area == 0) mean_area = 1.0;
+
+  double worst = 0;
+  for (int i = 0; i < nv; ++i) {
+    double m = std::sqrt(acc[i][0] * acc[i][0] + acc[i][1] * acc[i][1] +
+                         acc[i][2] * acc[i][2]);
+    worst = std::max(worst, m);
+  }
+  return worst / mean_area;
+}
+
+}  // namespace f3d::mesh

@@ -1,0 +1,46 @@
+#pragma once
+// Median-dual metrics for the edge-based finite-volume scheme.
+//
+// For each unique edge (i,j) of the tetrahedral mesh, the median dual
+// surface separating control volumes i and j is assembled from one
+// quadrilateral per incident tet (edge midpoint — face centroid — tet
+// centroid — face centroid). `edge_normal[e]` is the integrated area
+// vector of that surface, oriented from edges()[e][0] to edges()[e][1].
+//
+// `vertex_volume[i]` is the volume of vertex i's dual cell (each tet
+// contributes a quarter of its volume to each of its four vertices).
+//
+// Boundary closure: each boundary triangle contributes one third of its
+// outward area vector to each of its vertices, so that for every vertex
+//   sum_{edges e at i} (+/-) edge_normal[e] + (1/3) sum_{bfaces at i} A_f = 0.
+// This discrete divergence-free identity is what guarantees free-stream
+// preservation of the flow solver and is enforced by tests.
+
+#include <array>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace f3d::mesh {
+
+struct DualMetrics {
+  /// Per-edge area vector, oriented from edge v[0] to v[1]; follows the
+  /// mesh's current edge ordering.
+  std::vector<std::array<double, 3>> edge_normal;
+  /// Per-vertex dual control volume.
+  std::vector<double> vertex_volume;
+  /// Per-boundary-face outward area vector (full face area; a vertex's
+  /// share is one third).
+  std::vector<std::array<double, 3>> bface_normal;
+};
+
+/// Compute all median-dual metrics. Requires positively oriented tets and
+/// outward-oriented boundary faces (guaranteed by the generators).
+DualMetrics compute_dual_metrics(const UnstructuredMesh& mesh);
+
+/// Max closure defect max_i |sum of dual-surface area vectors around i|,
+/// normalized by the mean boundary face area. Near machine epsilon for a
+/// watertight mesh; used by tests and mesh validation.
+double closure_defect(const UnstructuredMesh& mesh, const DualMetrics& dual);
+
+}  // namespace f3d::mesh

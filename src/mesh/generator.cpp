@@ -1,0 +1,218 @@
+#include "mesh/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace f3d::mesh {
+
+namespace {
+
+// Kuhn subdivision of a hex into 6 tets, expressed through the hex's 8
+// corners indexed by bit pattern zyx (bit0 = +x, bit1 = +y, bit2 = +z).
+// Every tet walks from corner 000 to corner 111, one axis at a time, so the
+// subdivision is conforming across neighboring hexes.
+constexpr int kKuhnTets[6][4] = {
+    {0b000, 0b001, 0b011, 0b111}, {0b000, 0b001, 0b101, 0b111},
+    {0b000, 0b010, 0b011, 0b111}, {0b000, 0b010, 0b110, 0b111},
+    {0b000, 0b100, 0b101, 0b111}, {0b000, 0b100, 0b110, 0b111}};
+
+double orient_volume(const std::array<double, 3>& p0,
+                     const std::array<double, 3>& p1,
+                     const std::array<double, 3>& p2,
+                     const std::array<double, 3>& p3) {
+  double a[3] = {p1[0] - p0[0], p1[1] - p0[1], p1[2] - p0[2]};
+  double b[3] = {p2[0] - p0[0], p2[1] - p0[1], p2[2] - p0[2]};
+  double c[3] = {p3[0] - p0[0], p3[1] - p0[1], p3[2] - p0[2]};
+  return (a[0] * (b[1] * c[2] - b[2] * c[1]) -
+          a[1] * (b[0] * c[2] - b[2] * c[0]) +
+          a[2] * (b[0] * c[1] - b[1] * c[0])) /
+         6.0;
+}
+
+// Extract boundary faces: tet faces seen exactly once. Orient each outward
+// (away from the opposite tet vertex, using physical coords) and tag with
+// tag_fn(centroid in `tag_coords` space).
+template <class TagFn>
+std::vector<BoundaryFace> extract_boundary(
+    const std::vector<std::array<double, 3>>& coords,
+    const std::vector<std::array<double, 3>>& tag_coords,
+    const std::vector<std::array<int, 4>>& tets, TagFn tag_fn) {
+  // Local faces of a tet (v0,v1,v2,v3), each listed with the opposite
+  // vertex recorded for orientation.
+  constexpr int kFaces[4][4] = {
+      {1, 2, 3, 0}, {0, 3, 2, 1}, {0, 1, 3, 2}, {0, 2, 1, 3}};
+
+  struct FaceRec {
+    std::array<int, 3> oriented;
+    int opposite;
+    int count = 0;
+  };
+  std::map<std::array<int, 3>, FaceRec> seen;
+  for (const auto& t : tets) {
+    for (const auto& lf : kFaces) {
+      std::array<int, 3> f = {t[lf[0]], t[lf[1]], t[lf[2]]};
+      std::array<int, 3> key = f;
+      std::sort(key.begin(), key.end());
+      auto& rec = seen[key];
+      rec.oriented = f;
+      rec.opposite = t[lf[3]];
+      ++rec.count;
+    }
+  }
+
+  std::vector<BoundaryFace> out;
+  for (const auto& [key, rec] : seen) {
+    if (rec.count != 1) {
+      F3D_CHECK_MSG(rec.count == 2, "non-manifold face");
+      continue;
+    }
+    std::array<int, 3> f = rec.oriented;
+    // Outward orientation: normal must point away from the opposite vertex.
+    const auto& p0 = coords[f[0]];
+    const auto& p1 = coords[f[1]];
+    const auto& p2 = coords[f[2]];
+    const auto& po = coords[rec.opposite];
+    double e1[3] = {p1[0] - p0[0], p1[1] - p0[1], p1[2] - p0[2]};
+    double e2[3] = {p2[0] - p0[0], p2[1] - p0[1], p2[2] - p0[2]};
+    double n[3] = {e1[1] * e2[2] - e1[2] * e2[1], e1[2] * e2[0] - e1[0] * e2[2],
+                   e1[0] * e2[1] - e1[1] * e2[0]};
+    double d[3] = {po[0] - p0[0], po[1] - p0[1], po[2] - p0[2]};
+    if (n[0] * d[0] + n[1] * d[1] + n[2] * d[2] > 0) std::swap(f[1], f[2]);
+
+    const auto& q0 = tag_coords[f[0]];
+    const auto& q1 = tag_coords[f[1]];
+    const auto& q2 = tag_coords[f[2]];
+    std::array<double, 3> cen = {(q0[0] + q1[0] + q2[0]) / 3.0,
+                                 (q0[1] + q1[1] + q2[1]) / 3.0,
+                                 (q0[2] + q1[2] + q2[2]) / 3.0};
+    out.push_back(BoundaryFace{f, tag_fn(cen)});
+  }
+  return out;
+}
+
+// Structured box -> tets; `warp` maps unit-cube coordinates to physical.
+// `tag_fn` receives the *unit-cube* centroid of a boundary face, so wall
+// classification is exact regardless of warping.
+template <class WarpFn, class TagFn>
+UnstructuredMesh structured_tets(int nx, int ny, int nz, WarpFn warp,
+                                 TagFn tag_fn) {
+  F3D_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  const int vx = nx + 1, vy = ny + 1, vz = nz + 1;
+  auto vid = [&](int i, int j, int k) { return (k * vy + j) * vx + i; };
+
+  std::vector<std::array<double, 3>> coords(
+      static_cast<std::size_t>(vx) * vy * vz);
+  std::vector<std::array<double, 3>> unit(coords.size());
+  for (int k = 0; k < vz; ++k)
+    for (int j = 0; j < vy; ++j)
+      for (int i = 0; i < vx; ++i) {
+        const std::array<double, 3> u = {static_cast<double>(i) / nx,
+                                         static_cast<double>(j) / ny,
+                                         static_cast<double>(k) / nz};
+        unit[vid(i, j, k)] = u;
+        coords[vid(i, j, k)] = warp(u[0], u[1], u[2]);
+      }
+
+  std::vector<std::array<int, 4>> tets;
+  tets.reserve(static_cast<std::size_t>(nx) * ny * nz * 6);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        int corner[8];
+        for (int c = 0; c < 8; ++c)
+          corner[c] = vid(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1));
+        for (const auto& kt : kKuhnTets) {
+          std::array<int, 4> t = {corner[kt[0]], corner[kt[1]], corner[kt[2]],
+                                  corner[kt[3]]};
+          // Warping may flip orientation; normalize to positive volume.
+          if (orient_volume(coords[t[0]], coords[t[1]], coords[t[2]],
+                            coords[t[3]]) < 0)
+            std::swap(t[2], t[3]);
+          tets.push_back(t);
+        }
+      }
+    }
+  }
+
+  auto bfaces = extract_boundary(coords, unit, tets, tag_fn);
+  UnstructuredMesh mesh(std::move(coords), std::move(tets), std::move(bfaces));
+  mesh.finalize();
+  return mesh;
+}
+
+}  // namespace
+
+UnstructuredMesh generate_wing_mesh(const WingMeshConfig& cfg) {
+  auto thickness_at = [&](double x, double y) -> double {
+    if (y > cfg.span) return 0.0;
+    const double le = cfg.root_le + cfg.sweep * y;
+    const double chord = cfg.root_chord - cfg.taper * y;
+    if (chord <= 0) return 0.0;
+    const double xi = (x - le) / chord;
+    if (xi <= 0 || xi >= 1) return 0.0;
+    const double planform = 1.0 - y / cfg.span;  // linear load falloff to tip
+    return cfg.thickness * (0.25 + 0.75 * planform) * 4.0 * xi * (1.0 - xi);
+  };
+
+  auto warp = [&](double u, double v, double w) -> std::array<double, 3> {
+    const double x = cfg.len_x * u;
+    const double y = cfg.len_y * v;
+    const double t = thickness_at(x, y);
+    // Grading clusters vertical spacing toward the wall, then the bottom
+    // wall is lifted by the wing thickness, blending to zero at the top
+    // so the outer boundary stays a box.
+    const double wg = std::pow(w, cfg.z_grading);
+    const double z = cfg.len_z * wg + t * (1.0 - wg);
+    return {x, y, z};
+  };
+
+  // Tagging happens in unit-cube space, so the (warped) bottom wall is
+  // exactly w == 0.
+  auto tag = [&](const std::array<double, 3>& cen) -> BoundaryTag {
+    return cen[2] <= 1e-12 ? BoundaryTag::kWall : BoundaryTag::kFarField;
+  };
+
+  return structured_tets(cfg.nx, cfg.ny, cfg.nz, warp, tag);
+}
+
+UnstructuredMesh generate_box_mesh(int nx, int ny, int nz, double lx, double ly,
+                                   double lz) {
+  auto warp = [&](double u, double v, double w) -> std::array<double, 3> {
+    return {lx * u, ly * v, lz * w};
+  };
+  auto tag = [&](const std::array<double, 3>& cen) -> BoundaryTag {
+    return cen[2] <= 1e-12 ? BoundaryTag::kWall : BoundaryTag::kFarField;
+  };
+  return structured_tets(nx, ny, nz, warp, tag);
+}
+
+UnstructuredMesh generate_wing_mesh_with_size(int target_vertices) {
+  F3D_CHECK(target_vertices >= 8);
+  // Vertices = (nx+1)(ny+1)(nz+1) with nx = 2m, ny = nz = m.
+  int m = 1;
+  while ((2 * (m + 1) + 1) * (m + 2) * (m + 2) <= target_vertices) ++m;
+  WingMeshConfig cfg;
+  cfg.nx = 2 * m;
+  cfg.ny = m;
+  cfg.nz = m;
+  return generate_wing_mesh(cfg);
+}
+
+void shuffle_mesh(UnstructuredMesh& mesh, unsigned seed) {
+  Rng rng(seed);
+  std::vector<int> vperm(mesh.num_vertices());
+  std::iota(vperm.begin(), vperm.end(), 0);
+  shuffle(vperm, rng);
+  mesh.permute_vertices(vperm);
+
+  std::vector<int> eorder(mesh.num_edges());
+  std::iota(eorder.begin(), eorder.end(), 0);
+  shuffle(eorder, rng);
+  mesh.permute_edges(eorder);
+}
+
+}  // namespace f3d::mesh

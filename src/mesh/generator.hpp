@@ -1,0 +1,60 @@
+#pragma once
+// Synthetic mesh generators.
+//
+// The paper's experiments use NASA ONERA M6 wing meshes (22,677 / 357,900 /
+// 2.8M vertices), which are not distributable. We substitute a
+// parameterized "wing-bump-in-channel" tetrahedral mesh: a structured box
+// Kuhn-subdivided into tets, with the bottom wall deformed by a swept,
+// tapered wing-thickness bump. The result has the same topology class
+// (3-D tetrahedral, ~7 incident edges per vertex, 2-D boundary) and the
+// same shock-free subsonic flow character the paper's incompressible runs
+// have, which is all the layout / convergence experiments depend on.
+//
+// Generators emit vertices in structured (lexicographic) order — already a
+// low-bandwidth ordering. `shuffle_mesh` destroys that order to emulate an
+// "as-delivered" unstructured mesh so that the RCM / edge-reordering
+// experiments start from a realistic baseline.
+
+#include "common/rng.hpp"
+#include "mesh/mesh.hpp"
+
+namespace f3d::mesh {
+
+struct WingMeshConfig {
+  int nx = 16;  ///< cells streamwise
+  int ny = 8;   ///< cells spanwise
+  int nz = 8;   ///< cells vertical
+  double len_x = 4.0, len_y = 2.0, len_z = 2.0;
+  // Wing planform on the bottom (z=0) wall.
+  double root_le = 1.0;      ///< leading edge x at root
+  double sweep = 0.3;        ///< leading edge x shift per unit span
+  double root_chord = 1.0;   ///< chord at root
+  double taper = 0.35;       ///< chord reduction per unit span
+  double span = 1.2;         ///< wing half-span
+  double thickness = 0.06;   ///< max bump height
+  /// Vertical grading exponent: > 1 clusters points toward the wall
+  /// (boundary-layer-style stretching; 1 = uniform). Real CFD wing meshes
+  /// are strongly graded, which widens the cell-size spread the local
+  /// pseudo-timestep has to absorb.
+  double z_grading = 1.0;
+};
+
+/// Generate the wing mesh; returned mesh is finalized, with positively
+/// oriented tets and outward-oriented boundary faces. Bottom wall is
+/// BoundaryTag::kWall, all other walls kFarField.
+UnstructuredMesh generate_wing_mesh(const WingMeshConfig& cfg);
+
+/// Plain box mesh (no bump); same tagging. Used by unit tests.
+UnstructuredMesh generate_box_mesh(int nx, int ny, int nz, double lx = 1.0,
+                                   double ly = 1.0, double lz = 1.0);
+
+/// Pick (nx, ny, nz) with roughly 2:1:1 aspect so that the vertex count is
+/// close to `target_vertices`, then generate.
+UnstructuredMesh generate_wing_mesh_with_size(int target_vertices);
+
+/// Randomly permute vertex numbering and edge order in place (deterministic
+/// in `seed`). Emulates the unordered state of a mesh straight out of a
+/// mesh generator, which the paper's ordering optimizations start from.
+void shuffle_mesh(UnstructuredMesh& mesh, unsigned seed);
+
+}  // namespace f3d::mesh

@@ -1,0 +1,103 @@
+#include "mesh/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace f3d::mesh {
+
+Graph build_graph(int n, const std::vector<std::array<int, 2>>& edges) {
+  Graph g;
+  g.ptr.assign(n + 1, 0);
+  for (const auto& e : edges) {
+    F3D_CHECK(e[0] >= 0 && e[0] < n && e[1] >= 0 && e[1] < n && e[0] != e[1]);
+    ++g.ptr[e[0] + 1];
+    ++g.ptr[e[1] + 1];
+  }
+  for (int i = 0; i < n; ++i) g.ptr[i + 1] += g.ptr[i];
+  g.adj.resize(g.ptr[n]);
+  std::vector<int> cursor(g.ptr.begin(), g.ptr.end() - 1);
+  for (const auto& e : edges) {
+    g.adj[cursor[e[0]]++] = e[1];
+    g.adj[cursor[e[1]]++] = e[0];
+  }
+  for (int i = 0; i < n; ++i)
+    std::sort(g.adj.begin() + g.ptr[i], g.adj.begin() + g.ptr[i + 1]);
+  return g;
+}
+
+std::vector<int> bfs_levels(const Graph& g, int start,
+                            const std::vector<char>& mask) {
+  const int n = static_cast<int>(g.ptr.size()) - 1;
+  F3D_CHECK(start >= 0 && start < n);
+  auto in_mask = [&](int v) { return mask.empty() || mask[v]; };
+  std::vector<int> dist(n, -1);
+  if (!in_mask(start)) return dist;
+  std::queue<int> q;
+  dist[start] = 0;
+  q.push(start);
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (int p = g.ptr[v]; p < g.ptr[v + 1]; ++p) {
+      int w = g.adj[p];
+      if (dist[w] < 0 && in_mask(w)) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+int pseudo_peripheral_vertex(const Graph& g, int start) {
+  const int n = static_cast<int>(g.ptr.size()) - 1;
+  F3D_CHECK(n > 0);
+  int v = start;
+  int ecc = -1;
+  // Iterate: jump to the farthest vertex until eccentricity stops growing.
+  for (int iter = 0; iter < 8; ++iter) {
+    auto dist = bfs_levels(g, v);
+    int far_v = v, far_d = 0;
+    for (int i = 0; i < n; ++i) {
+      if (dist[i] > far_d) {
+        far_d = dist[i];
+        far_v = i;
+      }
+    }
+    if (far_d <= ecc) break;
+    ecc = far_d;
+    v = far_v;
+  }
+  return v;
+}
+
+int connected_components(const Graph& g, std::vector<int>& comp,
+                         const std::vector<char>& mask) {
+  const int n = static_cast<int>(g.ptr.size()) - 1;
+  auto in_mask = [&](int v) { return mask.empty() || mask[v]; };
+  comp.assign(n, -1);
+  int ncomp = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < n; ++s) {
+    if (comp[s] >= 0 || !in_mask(s)) continue;
+    stack.push_back(s);
+    comp[s] = ncomp;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int p = g.ptr[v]; p < g.ptr[v + 1]; ++p) {
+        int w = g.adj[p];
+        if (comp[w] < 0 && in_mask(w)) {
+          comp[w] = ncomp;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return ncomp;
+}
+
+}  // namespace f3d::mesh

@@ -1,0 +1,30 @@
+#pragma once
+// Generic algorithms on CSR adjacency graphs. Shared by the ordering code
+// (RCM) and the mesh partitioners.
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace f3d::mesh {
+
+using Graph = UnstructuredMesh::Adjacency;
+
+/// Build a CSR graph directly from an edge list over n vertices.
+Graph build_graph(int n, const std::vector<std::array<int, 2>>& edges);
+
+/// BFS from `start` restricted to vertices where mask[v] == true (empty
+/// mask = all). Returns distance per vertex (-1 = unreached).
+std::vector<int> bfs_levels(const Graph& g, int start,
+                            const std::vector<char>& mask = {});
+
+/// A pseudo-peripheral vertex (endpoint of an approximately longest
+/// shortest path), the classical starting point for RCM.
+int pseudo_peripheral_vertex(const Graph& g, int start = 0);
+
+/// Connected component id per vertex (restricted to mask if non-empty);
+/// returns number of components. Vertices outside the mask get id -1.
+int connected_components(const Graph& g, std::vector<int>& comp,
+                         const std::vector<char>& mask = {});
+
+}  // namespace f3d::mesh

@@ -1,0 +1,138 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace f3d::mesh {
+
+namespace {
+// The 6 edges of a tet as local vertex index pairs.
+constexpr int kTetEdges[6][2] = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+}  // namespace
+
+UnstructuredMesh::UnstructuredMesh(std::vector<std::array<double, 3>> coords,
+                                   std::vector<std::array<int, 4>> tets,
+                                   std::vector<BoundaryFace> bfaces)
+    : coords_(std::move(coords)),
+      tets_(std::move(tets)),
+      bfaces_(std::move(bfaces)) {}
+
+void UnstructuredMesh::finalize() {
+  const int nv = num_vertices();
+  F3D_CHECK_MSG(nv > 0, "empty mesh");
+  for (const auto& t : tets_)
+    for (int v : t) F3D_CHECK_MSG(v >= 0 && v < nv, "tet vertex out of range");
+  for (const auto& f : bfaces_)
+    for (int v : f.v) F3D_CHECK_MSG(v >= 0 && v < nv, "bface vertex out of range");
+
+  // Unique edge extraction: collect all 6 edges of every tet, sort, dedup.
+  std::vector<std::array<int, 2>> all;
+  all.reserve(tets_.size() * 6);
+  for (const auto& t : tets_) {
+    for (const auto& le : kTetEdges) {
+      int a = t[le[0]], b = t[le[1]];
+      F3D_CHECK_MSG(a != b, "degenerate tet (repeated vertex)");
+      if (a > b) std::swap(a, b);
+      all.push_back({a, b});
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  edges_ = std::move(all);
+  finalized_ = true;
+}
+
+void UnstructuredMesh::check_finalized() const {
+  F3D_CHECK_MSG(finalized_, "mesh not finalized; call finalize()");
+}
+
+void UnstructuredMesh::permute_vertices(const std::vector<int>& perm) {
+  check_finalized();
+  const int nv = num_vertices();
+  F3D_CHECK_MSG(static_cast<int>(perm.size()) == nv, "perm size mismatch");
+  {
+    std::vector<char> seen(nv, 0);
+    for (int p : perm) {
+      F3D_CHECK_MSG(p >= 0 && p < nv && !seen[p], "perm is not a bijection");
+      seen[p] = 1;
+    }
+  }
+  std::vector<std::array<double, 3>> nc(coords_.size());
+  for (int old_id = 0; old_id < nv; ++old_id) nc[perm[old_id]] = coords_[old_id];
+  coords_ = std::move(nc);
+  for (auto& t : tets_)
+    for (auto& v : t) v = perm[v];
+  for (auto& f : bfaces_)
+    for (auto& v : f.v) v = perm[v];
+  for (auto& e : edges_) {
+    e = {perm[e[0]], perm[e[1]]};
+    if (e[0] > e[1]) std::swap(e[0], e[1]);
+  }
+}
+
+void UnstructuredMesh::permute_edges(const std::vector<int>& order) {
+  check_finalized();
+  const int ne = num_edges();
+  F3D_CHECK_MSG(static_cast<int>(order.size()) == ne, "order size mismatch");
+  std::vector<char> seen(ne, 0);
+  std::vector<std::array<int, 2>> out(edges_.size());
+  for (int k = 0; k < ne; ++k) {
+    int o = order[k];
+    F3D_CHECK_MSG(o >= 0 && o < ne && !seen[o], "order is not a bijection");
+    seen[o] = 1;
+    out[k] = edges_[o];
+  }
+  edges_ = std::move(out);
+}
+
+UnstructuredMesh::Adjacency UnstructuredMesh::vertex_adjacency() const {
+  check_finalized();
+  const int nv = num_vertices();
+  Adjacency a;
+  a.ptr.assign(nv + 1, 0);
+  for (const auto& e : edges_) {
+    ++a.ptr[e[0] + 1];
+    ++a.ptr[e[1] + 1];
+  }
+  for (int i = 0; i < nv; ++i) a.ptr[i + 1] += a.ptr[i];
+  a.adj.resize(a.ptr[nv]);
+  std::vector<int> cursor(a.ptr.begin(), a.ptr.end() - 1);
+  for (const auto& e : edges_) {
+    a.adj[cursor[e[0]]++] = e[1];
+    a.adj[cursor[e[1]]++] = e[0];
+  }
+  for (int i = 0; i < nv; ++i)
+    std::sort(a.adj.begin() + a.ptr[i], a.adj.begin() + a.ptr[i + 1]);
+  return a;
+}
+
+int UnstructuredMesh::bandwidth() const {
+  check_finalized();
+  int bw = 0;
+  for (const auto& e : edges_) bw = std::max(bw, e[1] - e[0]);
+  return bw;
+}
+
+double UnstructuredMesh::tet_volume(int t) const {
+  const auto& tet = tets_[t];
+  const auto& p0 = coords_[tet[0]];
+  const auto& p1 = coords_[tet[1]];
+  const auto& p2 = coords_[tet[2]];
+  const auto& p3 = coords_[tet[3]];
+  double a[3] = {p1[0] - p0[0], p1[1] - p0[1], p1[2] - p0[2]};
+  double b[3] = {p2[0] - p0[0], p2[1] - p0[1], p2[2] - p0[2]};
+  double c[3] = {p3[0] - p0[0], p3[1] - p0[1], p3[2] - p0[2]};
+  double det = a[0] * (b[1] * c[2] - b[2] * c[1]) -
+               a[1] * (b[0] * c[2] - b[2] * c[0]) +
+               a[2] * (b[0] * c[1] - b[1] * c[0]);
+  return det / 6.0;
+}
+
+double UnstructuredMesh::total_volume() const {
+  double s = 0;
+  for (int t = 0; t < num_tets(); ++t) s += tet_volume(t);
+  return s;
+}
+
+}  // namespace f3d::mesh

@@ -1,0 +1,99 @@
+#pragma once
+// Unstructured tetrahedral mesh: the substrate the paper's FUN3D
+// application discretizes on. Vertices carry coordinates; connectivity is
+// stored as tetrahedra, unique edges (derived), and tagged boundary
+// triangles. The edge list is the primary iteration structure of the
+// edge-based finite-volume scheme, so its *ordering* is a first-class
+// concept (see ordering.hpp) — it is one of the paper's three layout
+// optimizations.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace f3d::mesh {
+
+/// Boundary condition tags used by the flow solver.
+enum class BoundaryTag : int {
+  kWall = 1,      ///< slip wall (wing surface / symmetry plane)
+  kFarField = 2,  ///< characteristic far-field
+};
+
+struct BoundaryFace {
+  std::array<int, 3> v;  ///< vertex ids, outward-oriented (right-hand rule)
+  BoundaryTag tag;
+};
+
+class UnstructuredMesh {
+public:
+  UnstructuredMesh() = default;
+
+  /// Construct from raw arrays; call finalize() before use.
+  UnstructuredMesh(std::vector<std::array<double, 3>> coords,
+                   std::vector<std::array<int, 4>> tets,
+                   std::vector<BoundaryFace> bfaces);
+
+  /// Derive the unique edge list from the tetrahedra, validate
+  /// connectivity, and orient boundary faces. Must be called once after
+  /// construction or any topology change.
+  void finalize();
+
+  [[nodiscard]] int num_vertices() const { return static_cast<int>(coords_.size()); }
+  [[nodiscard]] int num_tets() const { return static_cast<int>(tets_.size()); }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] int num_boundary_faces() const {
+    return static_cast<int>(bfaces_.size());
+  }
+
+  [[nodiscard]] const std::vector<std::array<double, 3>>& coords() const {
+    return coords_;
+  }
+  [[nodiscard]] const std::vector<std::array<int, 4>>& tets() const {
+    return tets_;
+  }
+  /// Unique edges; each stored with v[0] < v[1] in the *current* vertex
+  /// numbering. Edge order is mutable via permute_edges().
+  [[nodiscard]] const std::vector<std::array<int, 2>>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<BoundaryFace>& boundary_faces() const {
+    return bfaces_;
+  }
+
+  /// Renumber vertices: new_id = perm[old_id]. Rewrites tets, edges and
+  /// boundary faces, re-sorting each edge so v[0] < v[1]. perm must be a
+  /// bijection on [0, num_vertices).
+  void permute_vertices(const std::vector<int>& perm);
+
+  /// Reorder the edge list: new edge k is old edge order[k].
+  void permute_edges(const std::vector<int>& order);
+
+  /// Vertex-to-vertex adjacency in CSR form (from the edge list,
+  /// symmetric). Rebuilt lazily after permutations.
+  struct Adjacency {
+    std::vector<int> ptr;  ///< size num_vertices+1
+    std::vector<int> adj;  ///< neighbor ids, sorted within each row
+  };
+  [[nodiscard]] Adjacency vertex_adjacency() const;
+
+  /// Maximum |i - j| over edges (matrix bandwidth proxy beta in the
+  /// paper's conflict-miss model, Eq. 2).
+  [[nodiscard]] int bandwidth() const;
+
+  /// Geometric volume of tet t (positive if positively oriented).
+  [[nodiscard]] double tet_volume(int t) const;
+
+  /// Total mesh volume (sum of tet volumes).
+  [[nodiscard]] double total_volume() const;
+
+private:
+  std::vector<std::array<double, 3>> coords_;
+  std::vector<std::array<int, 4>> tets_;
+  std::vector<std::array<int, 2>> edges_;
+  std::vector<BoundaryFace> bfaces_;
+  bool finalized_ = false;
+
+  void check_finalized() const;
+};
+
+}  // namespace f3d::mesh

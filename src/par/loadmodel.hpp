@@ -1,0 +1,63 @@
+#pragma once
+// Per-processor load statistics of a domain decomposition, and the
+// surface-law fit that extrapolates them to the paper's 2.8M-vertex /
+// 3072-node scale.
+//
+// Everything here is either *measured from a real partition* of a real
+// mesh (measure_load) or synthesized from a fit to those measurements
+// (fit_surface_law + synthesize_load): ghosts and cut edges scale like
+// the subdomain surface ~ (N/P)^(2/3), the physics behind the paper's
+// observation that "with an increase in the number of subdomains, the
+// percentage of grid point data that must be communicated also rises".
+
+#include <cmath>
+#include <vector>
+
+#include "mesh/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace f3d::par {
+
+struct PartitionLoad {
+  int procs = 0;
+  double total_vertices = 0;
+  // Per-processor statistics (avg and max capture load imbalance).
+  double avg_owned = 0, max_owned = 0;          ///< owned vertices
+  double avg_ghosts = 0, max_ghosts = 0;        ///< remote vertices read
+  double avg_neighbors = 0, max_neighbors = 0;  ///< distinct peer procs
+  /// Edges each processor computes in the flux loop: all edges incident
+  /// to an owned vertex. Cut edges are counted by BOTH sides — the
+  /// redundant work whose growth degrades large-P efficiency (Fig 1).
+  double avg_edges = 0, max_edges = 0;
+  double total_edges = 0;  ///< unique mesh edges
+};
+
+/// Measure the real load of a partition.
+PartitionLoad measure_load(const mesh::Graph& g, const part::Partition& p);
+
+/// Power-law fit of per-processor surface quantities against subdomain
+/// volume v = N/P:  ghosts ~ ghost_coeff * v^(2/3), etc.
+struct SurfaceLaw {
+  double edges_per_vertex = 0;   ///< bulk connectivity (~7 for tets)
+  double ghost_coeff = 0;        ///< ghosts ~ c * v^(2/3)
+  double cut_coeff = 0;          ///< redundant edges ~ c * v^(2/3)
+  /// Load imbalance worsens as subdomains shrink (fewer vertices to
+  /// balance over): max/avg = 1 + imbalance_coeff * v^(-1/3). This is
+  /// the mechanism behind Table 3's growing "implicit synchronization"
+  /// share.
+  double imbalance_coeff = 0;
+  double neighbor_base = 0;      ///< typical neighbor count (≈ constant)
+
+  [[nodiscard]] double imbalance_at(double vertices_per_part) const {
+    return 1.0 + imbalance_coeff /
+                     std::cbrt(std::max(vertices_per_part, 1.0));
+  }
+};
+
+SurfaceLaw fit_surface_law(const std::vector<PartitionLoad>& samples);
+
+/// Synthesize the load of an (N, P) decomposition from the law.
+PartitionLoad synthesize_load(double total_vertices, int procs,
+                              const SurfaceLaw& law);
+
+}  // namespace f3d::par

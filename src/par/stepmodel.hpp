@@ -1,0 +1,121 @@
+#pragma once
+// Virtual-machine time model for one psi-NKS pseudo-timestep — the engine
+// behind the reproduction of Figures 1, 2, 4 and Tables 3, 5.
+//
+// Inputs: a machine model (perf::MachineModel), the per-processor load of
+// a decomposition (PartitionLoad — measured or surface-law-synthesized),
+// per-vertex/per-edge work coefficients calibrated from the real kernels,
+// and the *measured* solver counts (linear iterations per step, etc.).
+// Output: a per-step time decomposition in the same categories the paper
+// reports: flux compute, sparse (memory-bandwidth-bound) compute, global
+// reductions, ghost-point scatters, and "implicit synchronizations"
+// (idle time from load imbalance at communication events).
+
+#include "par/loadmodel.hpp"
+#include "perf/machine.hpp"
+
+namespace f3d::par {
+
+/// Work per unit of mesh, calibrated from the discretization.
+struct WorkCoefficients {
+  int nb = 4;                       ///< unknowns per vertex
+  double flux_flops_per_edge = 75;  ///< one flux evaluation
+  /// Memory streamed per edge by the flux loop (edge indices, normals,
+  /// state gathers, residual updates). The flux phase is usually
+  /// instruction-bound, but colocated MPI ranks share the node bus and
+  /// can tip it over (the §2.5 contrast).
+  double flux_bytes_per_edge = 60;
+  /// Memory traffic of the linear kernels per owned vertex per Krylov
+  /// iteration (SpMV on the Jacobian block row + ILU triangular solve).
+  double sparse_bytes_per_vertex_it = 0;
+  double sparse_flops_per_vertex_it = 0;
+};
+
+/// Measured per-pseudo-timestep solver activity.
+struct StepCounts {
+  double linear_its = 20;     ///< Krylov iterations
+  double flux_evals = 0;      ///< residual evaluations (incl. matrix-free
+                              ///< matvecs); if 0, derived as
+                              ///< linear_its + 3
+  double dots_per_linear_it = 4;      ///< global reductions per iteration
+  double scatters_per_linear_it = 2;  ///< ghost exchanges per iteration
+};
+
+/// One pseudo-timestep's modeled time, split the way Table 3 splits it.
+struct StepBreakdown {
+  double t_flux = 0;        ///< busy time, flux phase
+  double t_sparse = 0;      ///< busy time, memory-bound linear algebra
+  double t_reductions = 0;  ///< global reduction latency
+  double t_scatter = 0;     ///< ghost exchange wire+latency time
+  double t_implicit_sync = 0;  ///< imbalance-induced wait time
+
+  [[nodiscard]] double total() const {
+    return t_flux + t_sparse + t_reductions + t_scatter + t_implicit_sync;
+  }
+  [[nodiscard]] double pct(double part) const {
+    return total() > 0 ? 100.0 * part / total() : 0;
+  }
+
+  double scatter_bytes_total = 0;  ///< data moved per step, all procs
+  /// "Application level effective bandwidth per node" (Table 3's last
+  /// column): data each node moved / time it spent in scatters.
+  double effective_bw_per_node_mbs = 0;
+  double flops_total = 0;  ///< all procs, per step
+  [[nodiscard]] double gflops() const {
+    return total() > 0 ? flops_total / total() * 1e-9 : 0;
+  }
+};
+
+/// Threading mode of a node (Table 5).
+enum class NodeMode {
+  kMpi1,       ///< 1 MPI rank per node, second CPU idle
+  kMpi2,       ///< 2 MPI ranks per node (decomposition has 2x parts)
+  kHybridOmp2, ///< 1 rank per node, 2 OpenMP threads in the flux phase
+};
+
+/// Model one pseudo-timestep. `load.procs` is the number of MPI ranks
+/// (for kMpi2 that is 2x the node count).
+StepBreakdown model_step(const perf::MachineModel& machine,
+                         const PartitionLoad& load,
+                         const WorkCoefficients& work, const StepCounts& counts,
+                         NodeMode mode = NodeMode::kMpi1);
+
+/// Model only the flux (function-evaluation) phase — Table 5's object.
+double model_flux_phase(const perf::MachineModel& machine,
+                        const PartitionLoad& load,
+                        const WorkCoefficients& work, NodeMode mode);
+
+/// Aggregate model of a full psi-NKS solve: one StepCounts entry per
+/// pseudo-timestep (e.g. taken from a real run's history, where early
+/// steps solve easy systems and later steps at high CFL need more
+/// iterations). Sums the per-step breakdowns.
+struct SolveSimulation {
+  double total_seconds = 0;
+  std::vector<double> step_seconds;
+  StepBreakdown aggregate;  ///< phase times summed over steps
+};
+SolveSimulation simulate_solve(const perf::MachineModel& machine,
+                               const PartitionLoad& load,
+                               const WorkCoefficients& work,
+                               const std::vector<StepCounts>& steps,
+                               NodeMode mode = NodeMode::kMpi1);
+
+/// The paper's efficiency decomposition (Table 3):
+///   eta_overall = (T0 * P0) / (T * P),  eta_alg = its0 / its,
+///   eta_impl = eta_overall / eta_alg.
+struct ScalingPoint {
+  int procs = 0;
+  double its = 0;       ///< linear iterations per step (or total)
+  double time = 0;      ///< execution time
+};
+struct EfficiencyRow {
+  int procs = 0;
+  double speedup = 0;
+  double eta_overall = 0;
+  double eta_alg = 0;
+  double eta_impl = 0;
+};
+std::vector<EfficiencyRow> efficiency_decomposition(
+    const std::vector<ScalingPoint>& points);
+
+}  // namespace f3d::par

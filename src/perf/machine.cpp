@@ -1,0 +1,117 @@
+#include "perf/machine.hpp"
+
+#include "common/timer.hpp"
+#include "perf/stream.hpp"
+
+namespace f3d::perf {
+
+MachineModel asci_red() {
+  MachineModel m;
+  m.name = "ASCI Red";
+  m.max_nodes = 3072;
+  m.cpus_per_node = 2;
+  m.cpu_mflops_peak = 333;      // 1 flop/cycle Pentium Pro
+  m.sparse_efficiency = 0.18;   // ~60 Mflop/s sustained sparse
+  m.flux_efficiency = 0.26;
+  m.mem_bw_mbs = 140;           // per-node sustainable
+  m.net_latency_us = 15;
+  m.net_bw_mbs = 310;           // 400 MB/s links, ~310 achievable
+  m.allreduce_latency_us = 18;
+  m.l2_bytes = 512 * 1024;      // Pentium Pro L2
+  m.jitter = 0.04;              // Cougar OS era MPP noise
+  return m;
+}
+
+MachineModel blue_pacific() {
+  MachineModel m;
+  m.name = "Blue Pacific";
+  m.max_nodes = 1464;
+  m.cpus_per_node = 4;
+  m.cpu_mflops_peak = 664;      // 2 flops/cycle PowerPC 604e
+  m.sparse_efficiency = 0.10;
+  m.flux_efficiency = 0.15;
+  m.mem_bw_mbs = 160;
+  m.net_latency_us = 28;        // slower interconnect than Red
+  m.net_bw_mbs = 150;
+  m.allreduce_latency_us = 35;
+  m.l2_bytes = 256 * 1024;
+  m.jitter = 0.05;              // full AIX per node
+  return m;
+}
+
+MachineModel cray_t3e() {
+  MachineModel m;
+  m.name = "Cray T3E";
+  m.max_nodes = 1024;
+  m.cpus_per_node = 1;
+  m.cpu_mflops_peak = 1200;     // 2 flops/cycle EV5 @ 600 MHz
+  m.sparse_efficiency = 0.07;
+  m.flux_efficiency = 0.11;
+  m.mem_bw_mbs = 600;           // streams-friendly local memory
+  m.net_latency_us = 3;         // the torus: low latency, high bandwidth
+  m.net_bw_mbs = 480;
+  m.allreduce_latency_us = 4;
+  m.l2_bytes = 96 * 1024;       // EV5 on-chip S-cache; no board cache
+  m.jitter = 0.015;             // microkernel PEs: very quiet
+  return m;
+}
+
+MachineModel origin2000() {
+  MachineModel m;
+  m.name = "Origin 2000";
+  m.max_nodes = 128;
+  m.cpus_per_node = 1;          // modeled per-CPU
+  m.cpu_mflops_peak = 500;      // 2 flops/cycle R10000 @ 250 MHz
+  m.sparse_efficiency = 0.15;
+  m.flux_efficiency = 0.22;
+  m.mem_bw_mbs = 300;
+  m.net_latency_us = 1;         // ccNUMA
+  m.net_bw_mbs = 600;
+  m.allreduce_latency_us = 2;
+  m.l2_bytes = 4 * 1024 * 1024; // the R10000 4 MB L2 of Table 1
+  m.jitter = 0.02;
+  return m;
+}
+
+std::vector<MachineModel> all_machines() {
+  return {asci_red(), blue_pacific(), cray_t3e(), origin2000()};
+}
+
+namespace {
+// Peak-ish flop probe: fused multiply-add chains on register data.
+double probe_mflops() {
+  double a0 = 1.0, a1 = 1.1, a2 = 1.2, a3 = 1.3;
+  const double b = 1.0000001, c = 1e-9;
+  const long iters = 20 * 1000 * 1000;
+  Timer t;
+  for (long i = 0; i < iters; ++i) {
+    a0 = a0 * b + c;
+    a1 = a1 * b + c;
+    a2 = a2 * b + c;
+    a3 = a3 * b + c;
+  }
+  const double dt = t.seconds();
+  asm volatile("" : "+r"(a0), "+r"(a1), "+r"(a2), "+r"(a3));
+  return dt > 0 ? 8.0 * iters / dt * 1e-6 : 1000.0;
+}
+}  // namespace
+
+MachineModel host_machine(std::size_t stream_elems) {
+  MachineModel m;
+  m.name = "host";
+  m.max_nodes = 1;
+  m.cpus_per_node = 1;
+  auto stream = run_stream(stream_elems, 2);
+  m.mem_bw_mbs = stream.best();
+  m.cpu_mflops_peak = probe_mflops();
+  m.sparse_efficiency = 0.12;  // typical sparse fraction on modern OoO
+  m.flux_efficiency = 0.25;
+  m.net_latency_us = 0.5;      // loopback placeholders
+  m.net_bw_mbs = m.mem_bw_mbs;
+  m.allreduce_latency_us = 1;
+  m.l2_bytes = 32 * 1024 * 1024;
+  m.jitter = 0.01;
+  return m;
+}
+
+}  // namespace f3d::perf

@@ -1,0 +1,69 @@
+#include "perf/models.hpp"
+
+#include "common/error.hpp"
+
+namespace f3d::perf {
+
+std::uint64_t conflict_miss_bound(std::uint64_t rows, std::uint64_t span,
+                                  std::uint64_t cache_dw,
+                                  std::uint64_t line_dw) {
+  F3D_CHECK(line_dw > 0 && cache_dw > 0);
+  if (span < cache_dw) return 0;
+  // N * ceil((span - C) / W)  (paper Eq. 1 with span = N, Eq. 2 with
+  // span = beta).
+  const std::uint64_t excess = span - cache_dw;
+  return rows * ((excess + line_dw - 1) / line_dw);
+}
+
+std::uint64_t tlb_miss_bound(std::uint64_t rows, std::uint64_t span_bytes,
+                             std::uint64_t tlb_entries,
+                             std::uint64_t page_bytes) {
+  F3D_CHECK(page_bytes > 0 && tlb_entries > 0);
+  const std::uint64_t reach = tlb_entries * page_bytes;
+  if (span_bytes < reach) return 0;
+  const std::uint64_t excess = span_bytes - reach;
+  return rows * ((excess + page_bytes - 1) / page_bytes);
+}
+
+SpmvTraffic spmv_traffic(const SpmvShape& s) {
+  F3D_CHECK(s.nb >= 1 && s.x_reuse >= 1.0);
+  SpmvTraffic t;
+  const double nnz_scalars =
+      static_cast<double>(s.blocks) * s.nb * s.nb;
+  t.matrix_bytes = nnz_scalars * sizeof(double);
+  // Point CSR needs one column index per scalar nonzero; BAIJ needs one
+  // per block — the integer-load saving of structural blocking (§2.1.2).
+  const double indices = static_cast<double>(s.blocks) *
+                         (s.nb == 1 ? 1.0 : 1.0) /* per block */
+                         * 1.0;
+  const double scalar_indices =
+      s.nb == 1 ? static_cast<double>(s.blocks) : indices;
+  t.index_bytes =
+      (scalar_indices + static_cast<double>(s.block_rows)) * sizeof(int);
+  // x: each of block_rows*nb doubles fetched x_reuse times; y written once
+  // (write-allocate: read + write = 2 transfers).
+  const double n_scalars = static_cast<double>(s.block_rows) * s.nb;
+  t.vector_bytes =
+      n_scalars * sizeof(double) * s.x_reuse + 2.0 * n_scalars * sizeof(double);
+  return t;
+}
+
+double spmv_flops(const SpmvShape& s) {
+  return 2.0 * static_cast<double>(s.blocks) * s.nb * s.nb;
+}
+
+double spmv_mflops_bound(const SpmvShape& s, double bandwidth_mbs) {
+  F3D_CHECK(bandwidth_mbs > 0);
+  const double bytes = spmv_traffic(s).total();
+  const double seconds = bytes / (bandwidth_mbs * 1.0e6);
+  return spmv_flops(s) / seconds * 1.0e-6;
+}
+
+double single_precision_speedup_bound(double factor_fraction_of_traffic) {
+  F3D_CHECK(factor_fraction_of_traffic >= 0 &&
+            factor_fraction_of_traffic <= 1);
+  // Halving the factor bytes: t' = t * (1 - f/2).
+  return 1.0 / (1.0 - 0.5 * factor_fraction_of_traffic);
+}
+
+}  // namespace f3d::perf

@@ -1,0 +1,64 @@
+#pragma once
+// Analytic performance models from the paper and its companion [10]:
+//  * conflict-miss bounds for SpMV under the two field layouts
+//    (paper Eq. 1 and Eq. 2), plus the TLB analog;
+//  * memory-traffic / bandwidth-bound Mflop/s estimates for SpMV in the
+//    four format combinations (point/block x interlaced/non-interlaced),
+//    the model that "clearly identifies memory bandwidth as the
+//    bottleneck" (§2.2).
+
+#include <cstdint>
+
+namespace f3d::perf {
+
+/// Paper Eq. 1 / Eq. 2: bound on conflict cache misses for an SpMV whose
+/// working set spans `span` doubles (the matrix bandwidth beta for the
+/// interlaced layout, ~N for the non-interlaced one), on a cache of
+/// `cache_dw` doubles capacity with `line_dw` doubles per line, over N
+/// rows. Zero when the working set fits.
+std::uint64_t conflict_miss_bound(std::uint64_t rows, std::uint64_t span,
+                                  std::uint64_t cache_dw,
+                                  std::uint64_t line_dw);
+
+/// TLB analog: same bound with the page-table reach (entries * page size)
+/// in place of the cache and the page size in place of the line.
+std::uint64_t tlb_miss_bound(std::uint64_t rows, std::uint64_t span_bytes,
+                             std::uint64_t tlb_entries,
+                             std::uint64_t page_bytes);
+
+/// Inputs of the SpMV traffic model.
+struct SpmvShape {
+  std::uint64_t block_rows = 0;  ///< vertices
+  std::uint64_t blocks = 0;      ///< block-sparsity nonzeros
+  int nb = 1;                    ///< block size (1 = point CSR)
+  double x_reuse = 1.0;  ///< average times each x cache line is re-fetched
+                         ///< from memory (1 = perfect reuse; grows when
+                         ///< the ordering is bad)
+};
+
+struct SpmvTraffic {
+  double matrix_bytes = 0;  ///< values, streamed once
+  double index_bytes = 0;   ///< column indices (+ row pointers)
+  double vector_bytes = 0;  ///< x gathers + y writes
+  [[nodiscard]] double total() const {
+    return matrix_bytes + index_bytes + vector_bytes;
+  }
+};
+
+/// Bytes moved from memory by one SpMV (the [10] model: matrix streamed,
+/// x gathered with `x_reuse` efficiency, y written once).
+SpmvTraffic spmv_traffic(const SpmvShape& shape);
+
+/// Flops of one SpMV: 2 * nnz scalars.
+double spmv_flops(const SpmvShape& shape);
+
+/// Bandwidth-bound performance estimate in Mflop/s given a sustainable
+/// memory bandwidth in MB/s: flops / (bytes / bw).
+double spmv_mflops_bound(const SpmvShape& shape, double bandwidth_mbs);
+
+/// The paper's §2.2 observation as a model: relative speedup of storing
+/// the (bandwidth-bound) triangular-solve factors in single precision.
+/// = traffic(double) / traffic(single) for the factor part of the stream.
+double single_precision_speedup_bound(double factor_fraction_of_traffic);
+
+}  // namespace f3d::perf

@@ -1,0 +1,62 @@
+#include "perf/stream.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace f3d::perf {
+
+namespace {
+// Defeat dead-code elimination without volatile.
+void keep(double& v) { asm volatile("" : "+m"(v) : : "memory"); }
+}  // namespace
+
+double StreamResult::best() const {
+  return std::max({copy_mbs, scale_mbs, add_mbs, triad_mbs});
+}
+
+StreamResult run_stream(std::size_t n, int repeats) {
+  F3D_CHECK(n >= 1000 && repeats >= 1);
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+  const double s = 3.0;
+  const double mb = 1.0e-6;
+
+  StreamResult res;
+  auto best_rate = [&](auto kernel, double bytes) {
+    double best = 0;
+    for (int r = 0; r < repeats; ++r) {
+      Timer t;
+      kernel();
+      const double dt = t.seconds();
+      keep(a[n / 2]);
+      if (dt > 0) best = std::max(best, bytes * mb / dt);
+    }
+    return best;
+  };
+
+  res.copy_mbs = best_rate(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+      },
+      2.0 * sizeof(double) * static_cast<double>(n));
+  res.scale_mbs = best_rate(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) b[i] = s * c[i];
+      },
+      2.0 * sizeof(double) * static_cast<double>(n));
+  res.add_mbs = best_rate(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+      },
+      3.0 * sizeof(double) * static_cast<double>(n));
+  res.triad_mbs = best_rate(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+      },
+      3.0 * sizeof(double) * static_cast<double>(n));
+  return res;
+}
+
+}  // namespace f3d::perf

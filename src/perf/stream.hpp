@@ -1,0 +1,25 @@
+#pragma once
+// McCalpin STREAM benchmark (copy / scale / add / triad) — the paper's
+// reference for "achievable memory bandwidth" (§2.2, ref [17]). Used to
+// calibrate the bandwidth term of the SpMV performance model on the host.
+
+#include <cstddef>
+
+namespace f3d::perf {
+
+struct StreamResult {
+  double copy_mbs = 0;   ///< a[i] = b[i]
+  double scale_mbs = 0;  ///< a[i] = s * b[i]
+  double add_mbs = 0;    ///< a[i] = b[i] + c[i]
+  double triad_mbs = 0;  ///< a[i] = b[i] + s * c[i]
+
+  /// The paper's operative number: sustainable bandwidth for the
+  /// vector-plus-scaled-vector pattern the solver kernels resemble.
+  [[nodiscard]] double best() const;
+};
+
+/// Run STREAM with arrays of `n` doubles, `repeats` timed repetitions
+/// (best-of). n should be several times the last-level cache.
+StreamResult run_stream(std::size_t n = 8 * 1000 * 1000, int repeats = 3);
+
+}  // namespace f3d::perf

@@ -1,0 +1,101 @@
+#include "solver/bicgstab.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/vec.hpp"
+
+namespace f3d::solver {
+
+BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
+                        const std::vector<double>& b, std::vector<double>& x,
+                        const BicgstabOptions& opts) {
+  using sparse::Vec;
+  const int n = a.n;
+  F3D_CHECK(static_cast<int>(b.size()) == n &&
+            static_cast<int>(x.size()) == n && m.n() == n);
+
+  BicgstabResult res;
+  Vec r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n), phat(n), shat(n);
+
+  a.apply(x.data(), r.data());
+  ++res.counters.matvecs;
+  for (int i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0 = r;
+  double rnorm = sparse::norm2(r);
+  ++res.counters.dots;
+  res.initial_residual = rnorm;
+  const double target = std::max(opts.atol, opts.rtol * rnorm);
+
+  double rho_prev = 1, alpha = 1, omega = 1;
+  while (res.iterations < opts.max_iters && rnorm > target) {
+    const double rho = sparse::dot(r0, r);
+    ++res.counters.dots;
+    if (std::abs(rho) < 1e-300) {
+      res.breakdown = true;
+      break;
+    }
+    if (res.iterations == 0) {
+      p = r;
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      for (int i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      res.counters.axpys += 2;
+    }
+    m.apply(p.data(), phat.data());
+    ++res.counters.prec_applies;
+    a.apply(phat.data(), v.data());
+    ++res.counters.matvecs;
+    const double r0v = sparse::dot(r0, v);
+    ++res.counters.dots;
+    if (std::abs(r0v) < 1e-300) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = rho / r0v;
+    for (int i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    ++res.counters.axpys;
+
+    const double snorm = sparse::norm2(s);
+    ++res.counters.dots;
+    if (snorm <= target) {
+      sparse::axpy(alpha, phat, x);
+      ++res.counters.axpys;
+      rnorm = snorm;
+      ++res.iterations;
+      break;
+    }
+
+    m.apply(s.data(), shat.data());
+    ++res.counters.prec_applies;
+    a.apply(shat.data(), t.data());
+    ++res.counters.matvecs;
+    const double tt = sparse::dot(t, t);
+    const double ts = sparse::dot(t, s);
+    res.counters.dots += 2;
+    if (tt == 0) {
+      res.breakdown = true;
+      break;
+    }
+    omega = ts / tt;
+    if (std::abs(omega) < 1e-300) {
+      res.breakdown = true;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    res.counters.axpys += 3;
+    rnorm = sparse::norm2(r);
+    ++res.counters.dots;
+    rho_prev = rho;
+    ++res.iterations;
+  }
+
+  res.final_residual = rnorm;
+  res.converged = rnorm <= target;
+  return res;
+}
+
+}  // namespace f3d::solver

@@ -1,0 +1,35 @@
+#pragma once
+// Preconditioned BiCGSTAB — the short-recurrence alternative to GMRES(m)
+// PETSc offers for nonsymmetric systems. Constant memory (no Krylov basis
+// to store, cf. §2.4.2's "Krylov subspace dimension depends largely on
+// the problem size and the available memory"), two matvecs and two
+// preconditioner applies per iteration; convergence is less monotone
+// than GMRES but needs no restart tuning.
+
+#include <vector>
+
+#include "solver/linear.hpp"
+
+namespace f3d::solver {
+
+struct BicgstabOptions {
+  double rtol = 1e-3;
+  double atol = 1e-50;
+  int max_iters = 200;
+};
+
+struct BicgstabResult {
+  bool converged = false;
+  int iterations = 0;  ///< full BiCGSTAB iterations (2 matvecs each)
+  double initial_residual = 0;
+  double final_residual = 0;
+  bool breakdown = false;  ///< rho or omega collapsed
+  SolveCounters counters;
+};
+
+/// Solve A x = b with right preconditioning; x carries the initial guess.
+BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
+                        const std::vector<double>& b, std::vector<double>& x,
+                        const BicgstabOptions& opts);
+
+}  // namespace f3d::solver

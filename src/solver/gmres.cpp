@@ -1,0 +1,165 @@
+#include "solver/gmres.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/vec.hpp"
+
+namespace f3d::solver {
+
+namespace {
+using sparse::Vec;
+
+// One GMRES cycle of up to `m` iterations. Returns iterations done and
+// updates x; sets `resid` to the estimated true residual norm.
+int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
+                const Vec& b, Vec& x, int m, double target, double* resid,
+                Orthogonalization orth, SolveCounters& ctr) {
+  const int n = a.n;
+  Vec r(n), w(n), z(n);
+
+  // r = b - A x.
+  a.apply(x.data(), r.data());
+  ++ctr.matvecs;
+  for (int i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  double beta = sparse::norm2(r);
+  ++ctr.dots;
+  *resid = beta;
+  if (beta <= target || beta == 0) return 0;
+
+  std::vector<Vec> v;  // Krylov basis
+  v.reserve(m + 1);
+  v.push_back(r);
+  sparse::scale(v[0], 1.0 / beta);
+
+  // Hessenberg (column-major: h[j] has j+2 entries) + Givens rotations.
+  std::vector<std::vector<double>> h(m);
+  std::vector<double> cs(m), sn(m), g(m + 1, 0.0);
+  g[0] = beta;
+
+  int j = 0;
+  for (; j < m; ++j) {
+    // w = A M^{-1} v_j.
+    prec.apply(v[j].data(), z.data());
+    ++ctr.prec_applies;
+    a.apply(z.data(), w.data());
+    ++ctr.matvecs;
+
+    h[j].assign(j + 2, 0.0);
+    if (orth == Orthogonalization::kModifiedGramSchmidt) {
+      for (int i = 0; i <= j; ++i) {
+        const double hij = sparse::dot(w, v[i]);
+        ++ctr.dots;
+        h[j][i] = hij;
+        sparse::axpy(-hij, v[i], w);
+        ++ctr.axpys;
+      }
+    } else {
+      // Classical GS: all projections from the same w (fusable into one
+      // global reduction on a parallel machine).
+      for (int i = 0; i <= j; ++i) {
+        h[j][i] = sparse::dot(w, v[i]);
+        ++ctr.dots;
+      }
+      for (int i = 0; i <= j; ++i) {
+        sparse::axpy(-h[j][i], v[i], w);
+        ++ctr.axpys;
+      }
+    }
+    const double hnorm = sparse::norm2(w);
+    ++ctr.dots;
+    h[j][j + 1] = hnorm;
+
+    // Apply previous Givens rotations to the new column.
+    for (int i = 0; i < j; ++i) {
+      const double t = cs[i] * h[j][i] + sn[i] * h[j][i + 1];
+      h[j][i + 1] = -sn[i] * h[j][i] + cs[i] * h[j][i + 1];
+      h[j][i] = t;
+    }
+    // New rotation to annihilate h[j][j+1].
+    {
+      const double denom = std::hypot(h[j][j], h[j][j + 1]);
+      if (denom == 0) {
+        cs[j] = 1;
+        sn[j] = 0;
+      } else {
+        cs[j] = h[j][j] / denom;
+        sn[j] = h[j][j + 1] / denom;
+      }
+      h[j][j] = cs[j] * h[j][j] + sn[j] * h[j][j + 1];
+      h[j][j + 1] = 0;
+      g[j + 1] = -sn[j] * g[j];
+      g[j] = cs[j] * g[j];
+    }
+    *resid = std::abs(g[j + 1]);
+
+    if (*resid <= target || hnorm == 0) {
+      ++j;
+      break;
+    }
+    Vec vn = w;
+    sparse::scale(vn, 1.0 / hnorm);
+    v.push_back(std::move(vn));
+  }
+
+  // Back-substitute y from the triangularized Hessenberg, then
+  // x += M^{-1} (V y).
+  const int k = j;
+  if (k > 0) {
+    std::vector<double> y(k);
+    for (int i = k - 1; i >= 0; --i) {
+      double s = g[i];
+      for (int l = i + 1; l < k; ++l) s -= h[l][i] * y[l];
+      y[i] = s / h[i][i];
+    }
+    Vec u(n, 0.0);
+    for (int i = 0; i < k; ++i) {
+      sparse::axpy(y[i], v[i], u);
+      ++ctr.axpys;
+    }
+    prec.apply(u.data(), z.data());
+    ++ctr.prec_applies;
+    for (int i = 0; i < n; ++i) x[i] += z[i];
+  }
+  return k;
+}
+
+}  // namespace
+
+GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
+                  const std::vector<double>& b, std::vector<double>& x,
+                  const GmresOptions& opts) {
+  F3D_CHECK(a.n == static_cast<int>(b.size()));
+  F3D_CHECK(a.n == m.n());
+  F3D_CHECK(a.n == static_cast<int>(x.size()));
+  F3D_CHECK(opts.restart >= 1);
+
+  GmresResult res;
+  double resid = 0;
+
+  // Initial residual norm for the relative tolerance.
+  {
+    Vec r(a.n);
+    a.apply(x.data(), r.data());
+    ++res.counters.matvecs;
+    for (int i = 0; i < a.n; ++i) r[i] = b[i] - r[i];
+    res.initial_residual = sparse::norm2(r);
+    ++res.counters.dots;
+  }
+  const double target =
+      std::max(opts.atol, opts.rtol * res.initial_residual);
+  resid = res.initial_residual;
+
+  while (res.iterations < opts.max_iters && resid > target) {
+    const int room = std::min(opts.restart, opts.max_iters - res.iterations);
+    const int done = gmres_cycle(a, m, b, x, room, target, &resid, opts.orth,
+                                 res.counters);
+    res.iterations += done;
+    if (done == 0) break;  // stagnation or immediate convergence
+  }
+  res.final_residual = resid;
+  res.converged = resid <= target;
+  return res;
+}
+
+}  // namespace f3d::solver

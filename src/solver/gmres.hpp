@@ -1,0 +1,43 @@
+#pragma once
+// Restarted GMRES(m) with right preconditioning — the paper's Krylov
+// solver (GMRES(20) in Table 4; restart dimension is one of the §2.4.2
+// tuning parameters, typical range 10-30).
+
+#include <vector>
+
+#include "solver/linear.hpp"
+
+namespace f3d::solver {
+
+enum class Orthogonalization {
+  kModifiedGramSchmidt,   ///< numerically robust default
+  kClassicalGramSchmidt,  ///< fewer synchronization points (one fused
+                          ///< reduction per iteration on a parallel
+                          ///< machine) — the paper's "orthogonalization
+                          ///< mechanism" tuning knob
+};
+
+struct GmresOptions {
+  double rtol = 1e-3;       ///< relative residual tolerance
+  double atol = 1e-50;
+  int max_iters = 200;      ///< total Krylov iterations across restarts
+  int restart = 20;         ///< Krylov subspace dimension
+  Orthogonalization orth = Orthogonalization::kModifiedGramSchmidt;
+};
+
+struct GmresResult {
+  bool converged = false;
+  int iterations = 0;
+  double initial_residual = 0;
+  double final_residual = 0;
+  SolveCounters counters;
+};
+
+/// Solve A x = b; x holds the initial guess on entry and the solution on
+/// exit. Right-preconditioned: residuals reported are true (unpreconditioned)
+/// residual estimates from the Arnoldi recurrence.
+GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
+                  const std::vector<double>& b, std::vector<double>& x,
+                  const GmresOptions& opts);
+
+}  // namespace f3d::solver

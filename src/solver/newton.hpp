@@ -1,0 +1,136 @@
+#pragma once
+// Pseudo-transient Newton-Krylov-Schwarz (psi-NKS) — the paper's solution
+// algorithm (§1.1, §2.4).
+//
+// Each pseudo-timestep l solves one inexact Newton correction of
+//   g(x) = r(x) + D_l (x - x_l),   D_l = diag(V_i / dt_i) (x) I_nb,
+// with dt_i = N_CFL^l * V_i / sr_i local timesteps and the SER power law
+//   N_CFL^l = N_CFL^0 (||r(x_0)|| / ||r(x_{l-1})||)^p        (§2.4.1).
+// The Jacobian action is matrix-free (FD of the residual; the paper: "the
+// Jacobian itself is never explicitly needed"); the preconditioner is
+// built from the analytic first-order Jacobian and refreshed at a
+// configurable frequency (§2.4's "refresh frequency" knob).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/timer.hpp"
+
+#include "partition/partition.hpp"
+#include "solver/gmres.hpp"
+#include "solver/precond.hpp"
+#include "sparse/csr.hpp"
+
+namespace f3d::solver {
+
+/// The nonlinear discretization the psi-NKS driver operates on. State
+/// vectors are interlaced scalars of length num_vertices()*nb().
+class NonlinearProblem {
+public:
+  virtual ~NonlinearProblem() = default;
+
+  [[nodiscard]] virtual int num_vertices() const = 0;
+  [[nodiscard]] virtual int nb() const = 0;
+  [[nodiscard]] int num_unknowns() const { return num_vertices() * nb(); }
+
+  /// Steady residual r(x).
+  virtual void residual(const std::vector<double>& x,
+                        std::vector<double>& r) = 0;
+
+  /// Analytic first-order Jacobian for preconditioning.
+  [[nodiscard]] virtual sparse::Bcsr<double> allocate_jacobian() const = 0;
+  virtual void jacobian(const std::vector<double>& x,
+                        sparse::Bcsr<double>& jac) = 0;
+
+  /// Per-vertex V_i / sr_i at state x (local timestep scale; the local
+  /// pseudo-timestep is dt_i = N_CFL * V_i / sr_i).
+  virtual void timestep_scale(const std::vector<double>& x,
+                              std::vector<double>& vol_over_sr) = 0;
+
+  /// Per-vertex dual control volumes V_i (the pseudo-time term of the
+  /// implicit system is (V_i / dt_i) I = (sr_i / N_CFL) I).
+  virtual void cell_volumes(std::vector<double>& vol) const = 0;
+
+  /// Called at the start of each pseudo-timestep with the residual
+  /// reduction so far; lets the problem switch discretization order etc.
+  virtual void on_step(int step, double residual_ratio) {
+    (void)step;
+    (void)residual_ratio;
+  }
+};
+
+struct PtcOptions {
+  // Continuation (§2.4.1).
+  double cfl0 = 10.0;      ///< initial CFL number
+  double ser_exponent = 1.0;  ///< p in the SER power law (0.75 - 1.5)
+  double cfl_max = 1e5;    ///< CFL cap (paper: CFL reaches 1e5)
+
+  // Outer loop.
+  int max_steps = 100;
+  double rtol = 1e-8;      ///< steady residual reduction target
+  int newton_per_step = 1; ///< inexact Newton iterations per timestep
+
+  // Krylov (§2.4.2).
+  enum class Krylov { kGmres, kBicgstab };
+  Krylov krylov = Krylov::kGmres;
+  GmresOptions gmres{.rtol = 5e-3, .max_iters = 60, .restart = 20};
+
+  // Schwarz (§2.4.3).
+  SchwarzOptions schwarz{};
+  int num_subdomains = 1;
+  /// Add the aggregation coarse space (two-level Schwarz) — the paper's
+  /// "coarse grid usage" knob.
+  bool use_coarse_space = false;
+  /// Partition supplied by the caller (e.g. from a specific partitioner
+  /// for the Figure 4 experiment); if empty, kway_grow is used.
+  part::Partition partition{};
+
+  /// Rebuild+refactor the preconditioner every k pseudo-timesteps.
+  int jacobian_refresh = 1;
+
+  /// Relative FD step for the matrix-free Jacobian action.
+  double fd_eps = 1e-7;
+
+  /// false = apply the *assembled* first-order Jacobian in GMRES instead
+  /// of the matrix-free FD action. Cheaper per iteration but the Krylov
+  /// operator is then only first-order accurate — the tradeoff behind the
+  /// paper's matrix-free choice (ablated in bench_ablation_subsolver).
+  bool matrix_free = true;
+
+  /// Backtracking line search steps (0 = plain Newton).
+  int max_line_search = 3;
+};
+
+struct PtcStepRecord {
+  int step = 0;
+  double residual = 0;  ///< steady ||r(x)|| after the step
+  double cfl = 0;
+  int linear_iterations = 0;
+  bool linear_converged = false;
+  double line_search_lambda = 1.0;
+};
+
+struct PtcResult {
+  bool converged = false;
+  int steps = 0;
+  long long total_linear_iterations = 0;
+  long long function_evaluations = 0;
+  double initial_residual = 0;
+  double final_residual = 0;
+  std::vector<PtcStepRecord> history;
+  SolveCounters counters;
+  /// Real wall-clock per phase: "flux" (residual evaluations, including
+  /// matrix-free actions and line search), "jacobian" (analytic assembly),
+  /// "factor" (preconditioner refactorization), "krylov" (solver
+  /// orchestration outside the residual calls). The paper: "the CFD
+  /// application spends almost all of its time in two phases" — this is
+  /// how we check that claim on the reproduction.
+  PhaseTimers phases;
+};
+
+/// Run psi-NKS from initial state x (updated in place).
+PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
+                    const PtcOptions& opts);
+
+}  // namespace f3d::solver

@@ -1,0 +1,187 @@
+#pragma once
+// Compressed sparse row (PETSc "AIJ") matrix, templated on the stored
+// scalar so the paper's single-precision-storage experiment (§2.2,
+// Table 2) can store float entries while all arithmetic stays double.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace f3d::sparse {
+
+template <class S = double>
+struct Csr {
+  int n = 0;  ///< square: rows == cols
+  std::vector<int> ptr;  ///< size n+1
+  std::vector<int> col;  ///< column indices, ascending within a row
+  std::vector<S> val;
+
+  [[nodiscard]] std::size_t nnz() const { return col.size(); }
+
+  void check() const {
+    F3D_CHECK(static_cast<int>(ptr.size()) == n + 1);
+    F3D_CHECK(col.size() == val.size());
+    F3D_CHECK(ptr[0] == 0 && ptr[n] == static_cast<int>(col.size()));
+    for (int i = 0; i < n; ++i) {
+      F3D_CHECK(ptr[i] <= ptr[i + 1]);
+      for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
+        F3D_CHECK(col[p] >= 0 && col[p] < n);
+        if (p > ptr[i]) F3D_CHECK(col[p - 1] < col[p]);
+      }
+    }
+  }
+
+  /// y = A x. Arithmetic in double regardless of storage type.
+  void spmv(const double* x, double* y) const {
+    for (int i = 0; i < n; ++i) {
+      double s = 0;
+      for (int p = ptr[i]; p < ptr[i + 1]; ++p)
+        s += static_cast<double>(val[p]) * x[col[p]];
+      y[i] = s;
+    }
+  }
+
+  void spmv(const std::vector<double>& x, std::vector<double>& y) const {
+    F3D_CHECK(static_cast<int>(x.size()) == n);
+    y.resize(n);
+    spmv(x.data(), y.data());
+  }
+
+  /// Pointer to entry (i, j), or nullptr if not in the pattern.
+  [[nodiscard]] const S* find(int i, int j) const {
+    for (int p = ptr[i]; p < ptr[i + 1]; ++p)
+      if (col[p] == j) return &val[p];
+    return nullptr;
+  }
+  [[nodiscard]] S* find(int i, int j) {
+    return const_cast<S*>(static_cast<const Csr*>(this)->find(i, j));
+  }
+
+  /// Convert storage scalar (e.g. double -> float for the single-precision
+  /// preconditioner experiment).
+  template <class T>
+  [[nodiscard]] Csr<T> convert() const {
+    Csr<T> out;
+    out.n = n;
+    out.ptr = ptr;
+    out.col = col;
+    out.val.assign(val.begin(), val.end());
+    return out;
+  }
+};
+
+/// Block CSR (PETSc "BAIJ"): the paper's structural-blocking format.
+/// Blocks are nb x nb, row-major, one per block-sparsity entry. The win
+/// over point CSR: one column index per block instead of nb^2 — fewer
+/// integer loads and more register reuse in spmv (paper §2.1.2).
+template <class S = double>
+struct Bcsr {
+  int nb = 0;      ///< block size (4 incompressible, 5 compressible)
+  int nrows = 0;   ///< block rows
+  std::vector<int> ptr;  ///< block-row pointers, size nrows+1
+  std::vector<int> col;  ///< block-column indices, ascending in a row
+  std::vector<S> val;    ///< nb*nb scalars per block entry
+
+  [[nodiscard]] std::size_t nblocks() const { return col.size(); }
+  [[nodiscard]] int scalar_n() const { return nrows * nb; }
+
+  void check() const {
+    F3D_CHECK(nb >= 1);
+    F3D_CHECK(static_cast<int>(ptr.size()) == nrows + 1);
+    F3D_CHECK(val.size() ==
+              col.size() * static_cast<std::size_t>(nb) * nb);
+    for (int i = 0; i < nrows; ++i)
+      for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
+        F3D_CHECK(col[p] >= 0 && col[p] < nrows);
+        if (p > ptr[i]) F3D_CHECK(col[p - 1] < col[p]);
+      }
+  }
+
+  /// y = A x with x, y of length nrows*nb (interlaced field layout).
+  /// Dispatches to fully unrolled kernels for the block sizes the Euler
+  /// models use (4 and 5) — the register-reuse benefit of structural
+  /// blocking (paper §2.1.2) needs the compile-time block size.
+  void spmv(const double* x, double* y) const {
+    switch (nb) {
+      case 4:
+        spmv_fixed<4>(x, y);
+        return;
+      case 5:
+        spmv_fixed<5>(x, y);
+        return;
+      default:
+        spmv_generic(x, y);
+    }
+  }
+
+  template <int NB>
+  void spmv_fixed(const double* x, double* y) const {
+    const std::size_t bsz = static_cast<std::size_t>(NB) * NB;
+    for (int i = 0; i < nrows; ++i) {
+      double acc[NB] = {};
+      for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
+        const S* b = &val[p * bsz];
+        const double* xj = &x[static_cast<std::size_t>(col[p]) * NB];
+        for (int r = 0; r < NB; ++r) {
+          double s = 0;
+          const S* row = b + static_cast<std::size_t>(r) * NB;
+          for (int c = 0; c < NB; ++c)
+            s += static_cast<double>(row[c]) * xj[c];
+          acc[r] += s;
+        }
+      }
+      double* yi = &y[static_cast<std::size_t>(i) * NB];
+      for (int r = 0; r < NB; ++r) yi[r] = acc[r];
+    }
+  }
+
+  void spmv_generic(const double* x, double* y) const {
+    const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
+    for (int i = 0; i < nrows; ++i) {
+      double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      F3D_ASSERT(nb <= 8);
+      for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
+        const S* b = &val[p * bsz];
+        const double* xj = &x[static_cast<std::size_t>(col[p]) * nb];
+        for (int r = 0; r < nb; ++r) {
+          double s = 0;
+          const S* row = b + static_cast<std::size_t>(r) * nb;
+          for (int c = 0; c < nb; ++c) s += static_cast<double>(row[c]) * xj[c];
+          acc[r] += s;
+        }
+      }
+      double* yi = &y[static_cast<std::size_t>(i) * nb];
+      for (int r = 0; r < nb; ++r) yi[r] = acc[r];
+    }
+  }
+
+  void spmv(const std::vector<double>& x, std::vector<double>& y) const {
+    F3D_CHECK(static_cast<int>(x.size()) == scalar_n());
+    y.resize(x.size());
+    spmv(x.data(), y.data());
+  }
+
+  /// Pointer to the nb*nb block (i, j), or nullptr.
+  [[nodiscard]] const S* find_block(int i, int j) const {
+    for (int p = ptr[i]; p < ptr[i + 1]; ++p)
+      if (col[p] == j) return &val[static_cast<std::size_t>(p) * nb * nb];
+    return nullptr;
+  }
+  [[nodiscard]] S* find_block(int i, int j) {
+    return const_cast<S*>(static_cast<const Bcsr*>(this)->find_block(i, j));
+  }
+
+  template <class T>
+  [[nodiscard]] Bcsr<T> convert() const {
+    Bcsr<T> out;
+    out.nb = nb;
+    out.nrows = nrows;
+    out.ptr = ptr;
+    out.col = col;
+    out.val.assign(val.begin(), val.end());
+    return out;
+  }
+};
+
+}  // namespace f3d::sparse

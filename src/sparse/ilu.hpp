@@ -1,0 +1,92 @@
+#pragma once
+// Incomplete LU factorization with level-of-fill — ILU(k) — in point
+// (AIJ) and block (BAIJ) variants, the paper's subdomain solver (§2.4.3,
+// Table 4: k = 0, 1, 2).
+//
+// The symbolic phase is shared: level-of-fill on the (block) sparsity
+// graph. The numeric phase always computes in double; the factors may be
+// *stored* in float for the paper's single-precision-preconditioner
+// experiment (§2.2, Table 2) — the triangular solves then read float
+// operands but accumulate in double, halving the memory traffic of the
+// bandwidth-bound solve at no observed cost in convergence.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace f3d::sparse {
+
+/// Combined L+U sparsity with diagonal positions. For block ILU the
+/// indices are block rows/cols.
+struct IluPattern {
+  int n = 0;
+  std::vector<int> ptr;
+  std::vector<int> col;   ///< ascending within each row
+  std::vector<int> diag;  ///< position of (i, i) within row i
+
+  [[nodiscard]] std::size_t nnz() const { return col.size(); }
+};
+
+/// Level-of-fill symbolic factorization on an arbitrary CSR sparsity
+/// (must contain the diagonal). level == 0 returns the input pattern.
+IluPattern ilu_symbolic(int n, const std::vector<int>& aptr,
+                        const std::vector<int>& acol, int level);
+
+/// Point ILU factors, storage scalar S (double or float).
+template <class S>
+struct PointIlu {
+  IluPattern pat;
+  std::vector<S> val;
+
+  /// x = (LU)^{-1} b, double arithmetic.
+  void solve(const double* b, double* x) const {
+    const int n = pat.n;
+    for (int i = 0; i < n; ++i) {
+      double s = b[i];
+      for (int p = pat.ptr[i]; p < pat.diag[i]; ++p)
+        s -= static_cast<double>(val[p]) * x[pat.col[p]];
+      x[i] = s;
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      double s = x[i];
+      for (int p = pat.diag[i] + 1; p < pat.ptr[i + 1]; ++p)
+        s -= static_cast<double>(val[p]) * x[pat.col[p]];
+      x[i] = s / static_cast<double>(val[pat.diag[i]]);
+    }
+  }
+
+  void solve(const std::vector<double>& b, std::vector<double>& x) const {
+    x.resize(b.size());
+    solve(b.data(), x.data());
+  }
+};
+
+/// Block ILU factors; diagonal blocks are stored as their in-place LU
+/// factorizations.
+template <class S>
+struct BlockIlu {
+  int nb = 0;
+  IluPattern pat;
+  std::vector<S> val;  ///< nb*nb per pattern entry
+
+  void solve(const double* b, double* x) const;
+  void solve(const std::vector<double>& b, std::vector<double>& x) const {
+    x.resize(b.size());
+    solve(b.data(), x.data());
+  }
+};
+
+/// Numeric point factorization of A on `pat` (pattern from ilu_symbolic of
+/// A's sparsity). Computes in double, stores in S.
+template <class S = double>
+PointIlu<S> ilu_factor_point(const Csr<double>& a, const IluPattern& pat);
+
+/// Numeric block factorization.
+template <class S = double>
+BlockIlu<S> ilu_factor_block(const Bcsr<double>& a, const IluPattern& pat);
+
+/// Convenience: symbolic on a matrix's own sparsity.
+IluPattern ilu_symbolic(const Csr<double>& a, int level);
+IluPattern ilu_symbolic(const Bcsr<double>& a, int level);
+
+}  // namespace f3d::sparse

@@ -1,0 +1,48 @@
+#include "sparse/vec.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace f3d::sparse {
+
+double dot(const Vec& x, const Vec& y) {
+  F3D_CHECK(x.size() == y.size());
+  double s = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double a, const Vec& x, Vec& y) {
+  F3D_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void aypx(double a, const Vec& x, Vec& y) {
+  F3D_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + a * y[i];
+}
+
+void waxpy(Vec& w, double a, const Vec& x, const Vec& y) {
+  F3D_CHECK(x.size() == y.size());
+  w.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + y[i];
+}
+
+void scale(Vec& x, double a) {
+  for (auto& v : x) v *= a;
+}
+
+void set_all(Vec& x, double a) {
+  for (auto& v : x) v = a;
+}
+
+double norm_inf(const Vec& x) {
+  double m = 0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace f3d::sparse

@@ -1,0 +1,77 @@
+// Tests for the benchmark calibration utilities (bench_util): the
+// iteration-growth fit, work-coefficient calibration, and the standard
+// mesh factories — these feed every figure-level reproduction, so they
+// get their own correctness checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "cfd/euler.hpp"
+
+namespace {
+
+using namespace f3d;
+
+TEST(BenchUtil, FitRecoversExactPowerLaw) {
+  // its = 7 * P^0.25 exactly.
+  std::vector<std::pair<int, double>> pts;
+  for (int p : {8, 16, 32, 64, 128})
+    pts.push_back({p, 7.0 * std::pow(p, 0.25)});
+  EXPECT_NEAR(benchutil::fit_iteration_growth(pts), 0.25, 1e-12);
+}
+
+TEST(BenchUtil, FitHandlesFlatCounts) {
+  std::vector<std::pair<int, double>> pts = {{8, 20}, {16, 20}, {32, 20}};
+  EXPECT_NEAR(benchutil::fit_iteration_growth(pts), 0.0, 1e-12);
+}
+
+TEST(BenchUtil, MeshFactoriesContrastAsExpected) {
+  auto shuffled = benchutil::make_shuffled_wing(3000);
+  auto ordered = benchutil::make_ordered_wing(3000);
+  EXPECT_EQ(shuffled.num_vertices(), ordered.num_vertices());
+  EXPECT_LT(ordered.bandwidth(), shuffled.bandwidth() / 2);
+}
+
+TEST(BenchUtil, CalibratedWorkScalesWithFillAndPrecision) {
+  auto m = benchutil::make_ordered_wing(2000);
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfd::EulerDiscretization disc(m, cfg);
+  auto w0 = benchutil::calibrate_work(disc, 0, false);
+  auto w1 = benchutil::calibrate_work(disc, 1, false);
+  auto w0f = benchutil::calibrate_work(disc, 0, true);
+  EXPECT_GT(w0.flux_flops_per_edge, 10.0);
+  EXPECT_GT(w1.sparse_bytes_per_vertex_it, w0.sparse_bytes_per_vertex_it);
+  EXPECT_LT(w0f.sparse_bytes_per_vertex_it, w0.sparse_bytes_per_vertex_it);
+  EXPECT_EQ(w0.nb, 4);
+}
+
+TEST(BenchUtil, ProbeNksReportsConsistentCounts) {
+  auto m = benchutil::make_ordered_wing(1200);
+  solver::SchwarzOptions so;
+  so.type = solver::SchwarzType::kBlockJacobi;
+  so.fill_level = 0;
+  auto probe = benchutil::probe_nks(m, 4, so, 3);
+  EXPECT_EQ(probe.subdomains, 4);
+  EXPECT_EQ(probe.steps, 3);
+  EXPECT_GT(probe.total_linear_its, 0);
+  EXPECT_NEAR(probe.linear_its_per_step,
+              static_cast<double>(probe.total_linear_its) / probe.steps,
+              1e-9);
+  EXPECT_GT(probe.wall_seconds, 0);
+}
+
+TEST(BenchUtil, SurfaceLawFromEachPartitioner) {
+  auto m = benchutil::make_ordered_wing(3000);
+  for (auto kind : {benchutil::Partitioner::kKway,
+                    benchutil::Partitioner::kBalanceFirst,
+                    benchutil::Partitioner::kMultilevel}) {
+    auto law = benchutil::measure_surface_law(m, {4, 8, 16}, kind);
+    EXPECT_GT(law.ghost_coeff, 0) << static_cast<int>(kind);
+    EXPECT_GT(law.edges_per_vertex, 5.0);
+  }
+}
+
+}  // namespace

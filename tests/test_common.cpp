@@ -1,0 +1,217 @@
+// Unit tests for the common utilities: error macros, timers, RNG, dense
+// block kernels, options parser, and table formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/densemat.hpp"
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+// Keep a value alive without volatile (avoids -Wvolatile).
+inline void benchmark_do_not_optimize(double& v) {
+  asm volatile("" : "+m"(v) : : "memory");
+}
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    F3D_CHECK_MSG(1 == 2, "context");
+    FAIL() << "should have thrown";
+  } catch (const f3d::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) { F3D_CHECK(2 + 2 == 4); }
+
+TEST(Timer, MeasuresElapsedTime) {
+  f3d::Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  benchmark_do_not_optimize(sink);
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(PhaseTimers, AccumulatesBuckets) {
+  f3d::PhaseTimers pt;
+  pt.add("flux", 1.5);
+  pt.add("flux", 0.5);
+  pt.add("spmv", 1.0);
+  EXPECT_DOUBLE_EQ(pt.get("flux"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.get("spmv"), 1.0);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 3.0);
+  pt.clear();
+  EXPECT_DOUBLE_EQ(pt.total(), 0.0);
+}
+
+TEST(PhaseTimers, ScopeAddsOnDestruction) {
+  f3d::PhaseTimers pt;
+  {
+    f3d::PhaseTimers::Scope s(pt, "work");
+    double x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+    benchmark_do_not_optimize(x);
+  }
+  EXPECT_GT(pt.get("work"), 0.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  f3d::Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange) {
+  f3d::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  f3d::Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit with high probability
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  f3d::Rng rng(5);
+  f3d::shuffle(v, rng);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_NE(v[0] * 100 + v[1], 0 * 100 + 1);  // overwhelmingly likely moved
+}
+
+TEST(Dense, LuRoundTrip4x4) {
+  // A = random-ish diagonally dominant block; check A x = b solve.
+  const int nb = 4;
+  double a[16] = {10, 1, 2, 0, 1, 12, 0, 3, 2, 0, 9, 1, 0, 3, 1, 11};
+  double a_copy[16];
+  std::copy(a, a + 16, a_copy);
+  double x_true[4] = {1, -2, 3, 0.5};
+  double b[4] = {0, 0, 0, 0};
+  f3d::dense::gemv_acc(nb, a, x_true, b);
+
+  ASSERT_TRUE(f3d::dense::lu_factor(nb, a_copy));
+  double x[4];
+  f3d::dense::lu_solve(nb, a_copy, b, x);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(Dense, LuDetectsZeroPivot) {
+  double a[4] = {0, 1, 1, 0};  // 2x2 with zero leading pivot
+  EXPECT_FALSE(f3d::dense::lu_factor(2, a));
+}
+
+TEST(Dense, GemvSubMatchesAcc) {
+  const int nb = 3;
+  double a[9] = {1, 2, 3, 4, 5, 6, 7, 8, 10};
+  double x[3] = {1, 1, 1};
+  double yp[3] = {0, 0, 0}, ym[3] = {0, 0, 0};
+  f3d::dense::gemv_acc(nb, a, x, yp);
+  f3d::dense::gemv_sub(nb, a, x, ym);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(yp[i], -ym[i]);
+}
+
+TEST(Dense, GemmSubMatchesManual) {
+  const int nb = 2;
+  double a[4] = {1, 2, 3, 4};
+  double b[4] = {5, 6, 7, 8};
+  double c[4] = {0, 0, 0, 0};
+  f3d::dense::gemm_sub(nb, a, b, c);
+  // c -= a*b => c = -(a*b)
+  EXPECT_DOUBLE_EQ(c[0], -(1 * 5 + 2 * 7));
+  EXPECT_DOUBLE_EQ(c[1], -(1 * 6 + 2 * 8));
+  EXPECT_DOUBLE_EQ(c[2], -(3 * 5 + 4 * 7));
+  EXPECT_DOUBLE_EQ(c[3], -(3 * 6 + 4 * 8));
+}
+
+TEST(Dense, LuSolveBlockInvertsAgainstGemm) {
+  const int nb = 3;
+  double a[9] = {8, 1, 2, 1, 9, 3, 2, 3, 10};
+  double lu[9];
+  std::copy(a, a + 9, lu);
+  ASSERT_TRUE(f3d::dense::lu_factor(nb, lu));
+  double b[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  f3d::dense::lu_solve_block(nb, lu, b);  // b = A^{-1}
+  // Check A * A^{-1} = I via gemm_sub: c = I - A*Ainv should be ~0.
+  double c[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  f3d::dense::gemm_sub(nb, a, b, c);
+  for (double v : c) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "-n", "42", "-tol", "1.5e-3", "-verbose",
+                        "-name", "rcm", "file.txt"};
+  f3d::Options o(9, argv);
+  EXPECT_EQ(o.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(o.get_double("tol", 0), 1.5e-3);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.get_string("name", ""), "rcm");
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "file.txt");
+}
+
+TEST(Options, NegativeNumbersAreValues) {
+  const char* argv[] = {"prog", "-alpha", "-0.5", "-k", "-3"};
+  f3d::Options o(5, argv);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0), -0.5);
+  EXPECT_EQ(o.get_int("k", 0), -3);
+}
+
+TEST(Options, FallbacksWhenMissing) {
+  f3d::Options o;
+  EXPECT_EQ(o.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(o.get_double("y", 2.5), 2.5);
+  EXPECT_EQ(o.get_string("z", "d"), "d");
+  EXPECT_FALSE(o.get_bool("w", false));
+  EXPECT_FALSE(o.has("x"));
+}
+
+TEST(Options, ProgrammaticSet) {
+  f3d::Options o;
+  o.set("np", "16");
+  EXPECT_EQ(o.get_int("np", 0), 16);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  f3d::Table t({"Name", "Time"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "10.25"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("10.25"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  f3d::Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), f3d::Error);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(f3d::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(f3d::Table::num(static_cast<long long>(42)), "42");
+}
+
+}  // namespace

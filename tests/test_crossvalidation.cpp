@@ -1,0 +1,110 @@
+// Cross-module validation: the analytic performance models (f3d::perf)
+// checked against the cache/TLB simulator (f3d::simcache) on synthetic
+// access patterns where both are exactly analyzable, and against each
+// other's asymptotics. This is the reproduction's internal consistency
+// net: Eq. 1/2 are *bounds*, so the simulator must never exceed them on
+// the access pattern they model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perf/models.hpp"
+#include "simcache/cache.hpp"
+
+namespace {
+
+using namespace f3d;
+
+// The access pattern behind the paper's conflict-miss bound: a sweep over
+// N rows, each touching a window of the x-vector that slides by one
+// element per row (bandwidth beta), on a cache of C doubles with W-double
+// lines. One pass after warmup.
+struct SweepResult {
+  std::uint64_t misses = 0;
+  std::uint64_t conflict = 0;
+  std::uint64_t capacity = 0;
+};
+
+SweepResult simulate_banded_sweep(std::uint64_t rows, std::uint64_t beta,
+                                  std::uint64_t cache_dw,
+                                  std::uint64_t line_dw, int assoc) {
+  simcache::CacheModel cache(cache_dw * 8, static_cast<std::uint32_t>(line_dw * 8),
+                             assoc, /*classify=*/true);
+  std::vector<double> x(rows + beta, 0.0);
+  auto touch_window = [&](std::uint64_t row) {
+    for (std::uint64_t j = 0; j < beta; j += line_dw)
+      cache.access(reinterpret_cast<std::uint64_t>(&x[row + j]));
+  };
+  for (std::uint64_t i = 0; i < rows; ++i) touch_window(i);  // warm
+  cache.reset_counters();
+  for (std::uint64_t i = 0; i < rows; ++i) touch_window(i);
+  return {cache.misses(), cache.conflict_misses(), cache.capacity_misses()};
+}
+
+TEST(CrossValidation, NoConflictMissesWhenWindowFitsCache) {
+  // beta < C: Eq. 2 predicts zero *conflict* misses. The sliding window
+  // still pays one refetch per line per pass (the full vector exceeds the
+  // cache across the sweep — compulsory/capacity traffic), but nothing on
+  // top of that: the per-row working set fits.
+  const std::uint64_t rows = 2000, beta = 256, cache_dw = 1024, line = 8;
+  const auto bound = perf::conflict_miss_bound(rows, beta, cache_dw, line);
+  EXPECT_EQ(bound, 0u);
+  auto sim = simulate_banded_sweep(rows, beta, cache_dw, line, 8);
+  EXPECT_EQ(sim.conflict, 0u);
+  // One refetch per distinct line of x per pass, nothing more.
+  EXPECT_LE(sim.misses, (rows + beta) / line + 4);
+}
+
+TEST(CrossValidation, MissesAppearWhenWindowExceedsCache) {
+  // beta > C: the bound predicts ~N*(beta-C)/W misses... per row the
+  // window no longer fits, so the sweep re-misses the whole window: the
+  // *observed* misses must be nonzero and below the per-access total.
+  const std::uint64_t rows = 400, beta = 2048, cache_dw = 1024, line = 8;
+  const auto bound = perf::conflict_miss_bound(rows, beta, cache_dw, line);
+  EXPECT_GT(bound, 0u);
+  auto sim = simulate_banded_sweep(rows, beta, cache_dw, line, 8);
+  EXPECT_GT(sim.misses, rows);  // thrashing regime
+  // Eq. 1/2 count conflict misses per row as (beta-C)/W; the LRU sweep
+  // actually re-misses up to beta/W per row. The bound is a bound on the
+  // *conflict* component; check the identity direction: conflict +
+  // capacity <= rows * beta/W (total re-touches).
+  EXPECT_LE(sim.conflict + sim.capacity, rows * (beta / line));
+}
+
+TEST(CrossValidation, MissBoundMonotoneInSpan) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t beta = 1024; beta <= 8192; beta += 1024) {
+    const auto b = perf::conflict_miss_bound(1000, beta, 1024, 8);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(CrossValidation, TlbSimulatorMatchesReachModel) {
+  // Touch exactly `pages` distinct pages cyclically; the TLB-miss model
+  // says zero misses when pages <= entries and thrashing when beyond.
+  auto misses_for = [](int pages) {
+    simcache::CacheModel tlb(64ull * 4096, 4096, 64);  // 64-entry, 4K pages
+    std::vector<char> mem(static_cast<std::size_t>(pages) * 4096);
+    for (int rep = 0; rep < 3; ++rep)
+      for (int p = 0; p < pages; ++p)
+        tlb.access(reinterpret_cast<std::uint64_t>(&mem[p * 4096]));
+    return tlb.misses();
+  };
+  EXPECT_EQ(misses_for(32), 32u);   // compulsory only
+  EXPECT_EQ(misses_for(64), 64u);   // exactly fits
+  EXPECT_GT(misses_for(80), 160u);  // cyclic LRU thrash: re-misses
+}
+
+TEST(CrossValidation, SpmvTrafficModelMatchesHandCount) {
+  // Hand-countable case: 4 block rows, 10 blocks, nb = 2, perfect reuse.
+  perf::SpmvShape s{.block_rows = 4, .blocks = 10, .nb = 2, .x_reuse = 1.0};
+  auto t = perf::spmv_traffic(s);
+  EXPECT_DOUBLE_EQ(t.matrix_bytes, 10 * 4 * 8.0);          // 40 scalars
+  EXPECT_DOUBLE_EQ(t.index_bytes, (10 + 4) * 4.0);         // cols + ptr
+  EXPECT_DOUBLE_EQ(t.vector_bytes, 8 * 8.0 + 2 * 8 * 8.0); // x + y(rw)
+  EXPECT_DOUBLE_EQ(perf::spmv_flops(s), 2.0 * 10 * 4);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// End-to-end integration tests: full pipelines through mesh generation,
+// ordering, partitioning, discretization, and the psi-NKS solver with
+// the extended options (SSOR subdomains, matrix-explicit operator,
+// coarse space, multilevel partitions, float preconditioner), plus
+// physics invariance of the converged answer under renumbering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfd/problem.hpp"
+#include "io/vtk.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/ordering.hpp"
+#include "partition/multilevel.hpp"
+#include "perf/machine.hpp"
+#include "solver/newton.hpp"
+
+namespace {
+
+using namespace f3d;
+
+solver::PtcOptions base_opts() {
+  solver::PtcOptions o;
+  o.cfl0 = 20.0;
+  o.rtol = 1e-7;
+  o.max_steps = 50;
+  o.schwarz.fill_level = 1;
+  return o;
+}
+
+mesh::UnstructuredMesh small_wing() {
+  auto m = mesh::generate_wing_mesh(mesh::WingMeshConfig{.nx = 8, .ny = 4, .nz = 4});
+  mesh::apply_best_ordering(m);
+  return m;
+}
+
+double wall_force_z(const mesh::UnstructuredMesh& m,
+                    const cfd::EulerDiscretization& disc,
+                    const std::vector<double>& x) {
+  double fz = 0;
+  const auto& bfaces = m.boundary_faces();
+  for (std::size_t f = 0; f < bfaces.size(); ++f) {
+    if (bfaces[f].tag != mesh::BoundaryTag::kWall) continue;
+    for (int lv = 0; lv < 3; ++lv) {
+      const int v = bfaces[f].v[lv];
+      const double* q = &x[static_cast<std::size_t>(v) * disc.nb()];
+      fz += cfd::pressure(disc.config(), q) *
+            disc.dual().bface_normal[f][2] / 3.0;
+    }
+  }
+  return fz;
+}
+
+TEST(Integration, SsorSubdomainsConverge) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  auto o = base_opts();
+  o.num_subdomains = 6;
+  o.schwarz.subdomain_solver = solver::SubdomainSolver::kSsor;
+  o.schwarz.sweeps = 2;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Integration, MatrixExplicitOperatorConverges) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  auto o = base_opts();
+  o.matrix_free = false;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_TRUE(res.converged);
+  // The assembled operator needs no FD residual evaluations inside GMRES.
+  EXPECT_LT(res.function_evaluations,
+            res.total_linear_iterations + 6 * res.steps);
+}
+
+TEST(Integration, PhaseTimersRecordTheTwoPhases) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  auto o = base_opts();
+  auto res = solver::ptc_solve(prob, x, o);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.phases.get("flux"), 0.0);
+  EXPECT_GT(res.phases.get("krylov"), 0.0);
+  EXPECT_GT(res.phases.get("factor"), 0.0);
+  EXPECT_GT(res.phases.get("jacobian"), 0.0);
+  // Everything accounted is positive and flux dominates the FD solver.
+  EXPECT_GT(res.phases.total(), res.phases.get("factor"));
+}
+
+TEST(Integration, CoarseSpaceInPtcConverges) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  auto o = base_opts();
+  o.num_subdomains = 8;
+  o.use_coarse_space = true;
+  o.schwarz.type = solver::SchwarzType::kBlockJacobi;
+  o.schwarz.fill_level = 0;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Integration, MultilevelPartitionInPtcConverges) {
+  auto m = small_wing();
+  auto g = mesh::build_graph(m.num_vertices(), m.edges());
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  auto o = base_opts();
+  o.num_subdomains = 8;
+  o.partition = part::multilevel_kway(g, 8);
+  o.schwarz.type = solver::SchwarzType::kRasm;
+  o.schwarz.overlap = 1;
+  o.schwarz.fill_level = 0;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Integration, FloatPreconditionerFullSolveMatchesDouble) {
+  auto m = small_wing();
+  auto solve_with = [&](bool single) {
+    cfd::FlowConfig cfg;
+    cfg.model = cfd::Model::kIncompressible;
+    cfg.order = 1;
+    cfd::EulerDiscretization disc(m, cfg);
+    cfd::EulerProblem prob(disc, -1.0);
+    auto x = prob.initial_state();
+    auto o = base_opts();
+    o.schwarz.single_precision = single;
+    auto res = solver::ptc_solve(prob, x, o);
+    EXPECT_TRUE(res.converged);
+    return std::pair<double, int>(wall_force_z(m, disc, x), res.steps);
+  };
+  auto [fz_d, steps_d] = solve_with(false);
+  auto [fz_f, steps_f] = solve_with(true);
+  // Same physics, same step counts (the paper: convergence unaffected).
+  EXPECT_NEAR(fz_d, fz_f, 1e-5 * (1 + std::abs(fz_d)));
+  EXPECT_NEAR(steps_d, steps_f, 1);
+}
+
+TEST(Integration, ConvergedForceInvariantUnderRenumbering) {
+  // Solve the same flow on the ordered mesh and a shuffled copy; the
+  // wall force must agree — the physics cannot depend on data layout.
+  auto solve_on = [&](mesh::UnstructuredMesh mesh_in) {
+    cfd::FlowConfig cfg;
+    cfg.model = cfd::Model::kIncompressible;
+    cfg.order = 1;
+    cfd::EulerDiscretization disc(mesh_in, cfg);
+    cfd::EulerProblem prob(disc, -1.0);
+    auto x = prob.initial_state();
+    auto o = base_opts();
+    o.rtol = 1e-9;
+    auto res = solver::ptc_solve(prob, x, o);
+    EXPECT_TRUE(res.converged);
+    return wall_force_z(mesh_in, disc, x);
+  };
+  auto m1 = small_wing();
+  auto m2 = m1;
+  mesh::shuffle_mesh(m2, 31);
+  const double f1 = solve_on(std::move(m1));
+  const double f2 = solve_on(std::move(m2));
+  EXPECT_NEAR(f1, f2, 1e-6 * (1 + std::abs(f1)));
+}
+
+TEST(Integration, SecondOrderSolveAndVtkDump) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 2;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, 0.0);  // second order from the start
+  auto x = prob.initial_state();
+  auto o = base_opts();
+  o.max_steps = 60;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_TRUE(res.converged);
+  io::write_flow_vtk("/tmp/f3d_integration.vtk", m, disc.config(), x);
+  std::remove("/tmp/f3d_integration.vtk");
+}
+
+TEST(Integration, HostMachineModelIsUsable) {
+  auto m = perf::host_machine(1 << 19);  // small arrays: fast test
+  EXPECT_GT(m.mem_bw_mbs, 10.0);
+  EXPECT_GT(m.cpu_mflops_peak, 100.0);
+  EXPECT_GT(m.sparse_mflops(), 0.0);
+  EXPECT_EQ(m.max_nodes, 1);
+}
+
+}  // namespace

@@ -1,0 +1,324 @@
+// Tests for the mesh substrate: topology derivation, generators, dual
+// metrics (closure = discrete divergence theorem), permutations, graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/graph.hpp"
+#include "mesh/mesh.hpp"
+
+namespace {
+
+using namespace f3d;
+using namespace f3d::mesh;
+
+UnstructuredMesh single_tet() {
+  std::vector<std::array<double, 3>> coords = {
+      {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<std::array<int, 4>> tets = {{0, 1, 2, 3}};
+  std::vector<BoundaryFace> bf = {
+      {{0, 2, 1}, BoundaryTag::kWall},      // z=0, outward -z
+      {{0, 1, 3}, BoundaryTag::kFarField},  // y=0, outward -y
+      {{0, 3, 2}, BoundaryTag::kFarField},  // x=0, outward -x
+      {{1, 2, 3}, BoundaryTag::kFarField},  // slanted
+  };
+  UnstructuredMesh m(std::move(coords), std::move(tets), std::move(bf));
+  m.finalize();
+  return m;
+}
+
+TEST(Mesh, SingleTetTopology) {
+  auto m = single_tet();
+  EXPECT_EQ(m.num_vertices(), 4);
+  EXPECT_EQ(m.num_tets(), 1);
+  EXPECT_EQ(m.num_edges(), 6);
+  EXPECT_EQ(m.num_boundary_faces(), 4);
+  EXPECT_NEAR(m.tet_volume(0), 1.0 / 6.0, 1e-15);
+  EXPECT_NEAR(m.total_volume(), 1.0 / 6.0, 1e-15);
+}
+
+TEST(Mesh, EdgesAreUniqueAndSorted) {
+  auto m = generate_box_mesh(3, 3, 3);
+  std::set<std::array<int, 2>> seen;
+  for (const auto& e : m.edges()) {
+    EXPECT_LT(e[0], e[1]);
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate edge";
+  }
+}
+
+TEST(Mesh, BoxMeshCounts) {
+  const int n = 4;
+  auto m = generate_box_mesh(n, n, n);
+  EXPECT_EQ(m.num_vertices(), (n + 1) * (n + 1) * (n + 1));
+  EXPECT_EQ(m.num_tets(), 6 * n * n * n);
+  // Every boundary quad splits into 2 triangles; 6 faces of n^2 quads.
+  EXPECT_EQ(m.num_boundary_faces(), 2 * 6 * n * n);
+  EXPECT_NEAR(m.total_volume(), 1.0, 1e-12);
+}
+
+TEST(Mesh, AllTetsPositivelyOriented) {
+  auto m = generate_wing_mesh(WingMeshConfig{});
+  for (int t = 0; t < m.num_tets(); ++t) EXPECT_GT(m.tet_volume(t), 0.0);
+}
+
+TEST(Mesh, VertexAdjacencySymmetricAndSorted) {
+  auto m = generate_box_mesh(3, 2, 2);
+  auto a = m.vertex_adjacency();
+  const int nv = m.num_vertices();
+  ASSERT_EQ(static_cast<int>(a.ptr.size()), nv + 1);
+  for (int i = 0; i < nv; ++i) {
+    for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p) {
+      int j = a.adj[p];
+      if (p > a.ptr[i]) {
+        EXPECT_LT(a.adj[p - 1], j);
+      }
+      // Symmetry: i must appear in j's list.
+      bool found = std::binary_search(a.adj.begin() + a.ptr[j],
+                                      a.adj.begin() + a.ptr[j + 1], i);
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Mesh, PermuteVerticesPreservesTopologyAndGeometry) {
+  auto m = generate_box_mesh(3, 3, 3);
+  const double vol = m.total_volume();
+  const int ne = m.num_edges();
+  const int nb = m.num_boundary_faces();
+
+  std::vector<int> perm(m.num_vertices());
+  std::iota(perm.rbegin(), perm.rend(), 0);  // reversal permutation
+  m.permute_vertices(perm);
+
+  EXPECT_EQ(m.num_edges(), ne);
+  EXPECT_EQ(m.num_boundary_faces(), nb);
+  EXPECT_NEAR(m.total_volume(), vol, 1e-12);
+  for (const auto& e : m.edges()) EXPECT_LT(e[0], e[1]);
+}
+
+TEST(Mesh, PermuteVerticesRejectsNonBijection) {
+  auto m = single_tet();
+  EXPECT_THROW(m.permute_vertices({0, 0, 1, 2}), Error);
+  EXPECT_THROW(m.permute_vertices({0, 1, 2}), Error);
+}
+
+TEST(Mesh, PermuteEdgesRejectsNonBijection) {
+  auto m = single_tet();
+  std::vector<int> bad(m.num_edges(), 0);
+  EXPECT_THROW(m.permute_edges(bad), Error);
+}
+
+TEST(Mesh, ShuffleMeshKeepsInvariants) {
+  auto m = generate_wing_mesh(WingMeshConfig{.nx = 8, .ny = 4, .nz = 4});
+  const double vol = m.total_volume();
+  const int ne = m.num_edges();
+  shuffle_mesh(m, 123);
+  EXPECT_EQ(m.num_edges(), ne);
+  EXPECT_NEAR(m.total_volume(), vol, 1e-12);
+  auto dual = compute_dual_metrics(m);
+  EXPECT_LT(closure_defect(m, dual), 1e-10);
+}
+
+TEST(Mesh, BandwidthSmallForStructuredLargeForShuffled) {
+  auto m = generate_box_mesh(6, 6, 6);
+  const int bw_structured = m.bandwidth();
+  shuffle_mesh(m, 99);
+  const int bw_shuffled = m.bandwidth();
+  EXPECT_LT(bw_structured, bw_shuffled);
+}
+
+// --- Dual metrics -----------------------------------------------------
+
+TEST(Dual, SingleTetVolumes) {
+  auto m = single_tet();
+  auto d = compute_dual_metrics(m);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(d.vertex_volume[i], (1.0 / 6.0) / 4.0, 1e-15);
+}
+
+TEST(Dual, VolumesSumToMeshVolume) {
+  auto m = generate_wing_mesh(WingMeshConfig{.nx = 8, .ny = 4, .nz = 4});
+  auto d = compute_dual_metrics(m);
+  double s = std::accumulate(d.vertex_volume.begin(), d.vertex_volume.end(), 0.0);
+  EXPECT_NEAR(s, m.total_volume(), 1e-10 * std::abs(m.total_volume()));
+}
+
+TEST(Dual, ClosureOnSingleTet) {
+  auto m = single_tet();
+  auto d = compute_dual_metrics(m);
+  EXPECT_LT(closure_defect(m, d), 1e-12);
+}
+
+TEST(Dual, ClosureOnBoxMesh) {
+  auto m = generate_box_mesh(4, 3, 2);
+  auto d = compute_dual_metrics(m);
+  EXPECT_LT(closure_defect(m, d), 1e-12);
+}
+
+TEST(Dual, ClosureOnWarpedWingMesh) {
+  auto m = generate_wing_mesh(WingMeshConfig{});
+  auto d = compute_dual_metrics(m);
+  EXPECT_LT(closure_defect(m, d), 1e-10);
+}
+
+TEST(Dual, BoundaryNormalsAreOutward) {
+  auto m = generate_box_mesh(2, 2, 2);
+  auto d = compute_dual_metrics(m);
+  const auto& bf = m.boundary_faces();
+  for (std::size_t f = 0; f < bf.size(); ++f) {
+    // For the unit box, outward normal at a face must point away from the
+    // box center (0.5, 0.5, 0.5).
+    const auto& v = bf[f].v;
+    const auto& c = m.coords();
+    std::array<double, 3> cen = {
+        (c[v[0]][0] + c[v[1]][0] + c[v[2]][0]) / 3.0 - 0.5,
+        (c[v[0]][1] + c[v[1]][1] + c[v[2]][1]) / 3.0 - 0.5,
+        (c[v[0]][2] + c[v[1]][2] + c[v[2]][2]) / 3.0 - 0.5};
+    const auto& n = d.bface_normal[f];
+    EXPECT_GT(cen[0] * n[0] + cen[1] * n[1] + cen[2] * n[2], 0.0);
+  }
+}
+
+TEST(Dual, BoundaryAreaOfBoxIsSix) {
+  auto m = generate_box_mesh(3, 3, 3);
+  auto d = compute_dual_metrics(m);
+  double area = 0;
+  for (const auto& n : d.bface_normal)
+    area += std::sqrt(n[0] * n[0] + n[1] * n[1] + n[2] * n[2]);
+  EXPECT_NEAR(area, 6.0, 1e-12);
+}
+
+TEST(Dual, EdgeNormalsFollowEdgePermutation) {
+  auto m = generate_box_mesh(3, 2, 2);
+  auto d0 = compute_dual_metrics(m);
+  std::vector<int> order(m.num_edges());
+  std::iota(order.rbegin(), order.rend(), 0);
+  m.permute_edges(order);
+  auto d1 = compute_dual_metrics(m);
+  const int ne = m.num_edges();
+  for (int e = 0; e < ne; ++e)
+    for (int ddim = 0; ddim < 3; ++ddim)
+      EXPECT_DOUBLE_EQ(d1.edge_normal[e][ddim],
+                       d0.edge_normal[order[e]][ddim]);
+}
+
+// --- Generators --------------------------------------------------------
+
+TEST(Generator, WingMeshHasWallAndFarField) {
+  auto m = generate_wing_mesh(WingMeshConfig{});
+  int walls = 0, far = 0;
+  for (const auto& f : m.boundary_faces()) {
+    if (f.tag == BoundaryTag::kWall) ++walls;
+    if (f.tag == BoundaryTag::kFarField) ++far;
+  }
+  EXPECT_GT(walls, 0);
+  EXPECT_GT(far, 0);
+  // Bottom wall of a nx*ny grid = 2*nx*ny triangles.
+  EXPECT_EQ(walls, 2 * 16 * 8);
+}
+
+TEST(Generator, WingBumpRaisesBottomWall) {
+  WingMeshConfig cfg;
+  auto flat = generate_box_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.len_x, cfg.len_y,
+                                cfg.len_z);
+  auto wing = generate_wing_mesh(cfg);
+  // Wing mesh volume must be smaller: the bump displaces volume.
+  EXPECT_LT(wing.total_volume(), flat.total_volume());
+  EXPECT_GT(wing.total_volume(), 0.9 * flat.total_volume());
+}
+
+TEST(Generator, GradedMeshClustersNearWall) {
+  WingMeshConfig flat;
+  WingMeshConfig graded = flat;
+  graded.z_grading = 2.0;
+  auto mf = generate_wing_mesh(flat);
+  auto mg = generate_wing_mesh(graded);
+  // Same topology, valid dual, and a smaller first off-wall spacing.
+  EXPECT_EQ(mf.num_tets(), mg.num_tets());
+  auto df = compute_dual_metrics(mf);
+  auto dg = compute_dual_metrics(mg);
+  EXPECT_LT(closure_defect(mg, dg), 1e-10);
+  // First interior layer sits lower in the graded mesh: compare the
+  // minimum positive z among vertices off the wall at (0,0,*) column.
+  auto first_layer_z = [&](const UnstructuredMesh& m) {
+    double zmin = 1e30;
+    for (const auto& p : m.coords())
+      if (p[0] < 1e-12 && p[1] < 1e-12 && p[2] > 1e-12)
+        zmin = std::min(zmin, p[2]);
+    return zmin;
+  };
+  EXPECT_LT(first_layer_z(mg), 0.6 * first_layer_z(mf));
+  (void)df;
+}
+
+TEST(Generator, SizeTargetingIsClose) {
+  auto m = generate_wing_mesh_with_size(5000);
+  EXPECT_GT(m.num_vertices(), 2000);
+  EXPECT_LE(m.num_vertices(), 5000 * 2);
+}
+
+// --- Graph utilities ---------------------------------------------------
+
+TEST(Graph, BuildFromEdgesMatchesMeshAdjacency) {
+  auto m = generate_box_mesh(3, 2, 2);
+  auto a = m.vertex_adjacency();
+  auto g = build_graph(m.num_vertices(), m.edges());
+  EXPECT_EQ(a.ptr, g.ptr);
+  EXPECT_EQ(a.adj, g.adj);
+}
+
+TEST(Graph, BfsLevelsOnPath) {
+  // Path graph 0-1-2-3.
+  std::vector<std::array<int, 2>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  auto g = build_graph(4, edges);
+  auto d = bfs_levels(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Graph, BfsRespectsMask) {
+  std::vector<std::array<int, 2>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  auto g = build_graph(4, edges);
+  std::vector<char> mask = {1, 0, 1, 1};  // vertex 1 removed
+  auto d = bfs_levels(g, 0, mask);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], -1);
+  EXPECT_EQ(d[2], -1);  // unreachable without vertex 1
+}
+
+TEST(Graph, PseudoPeripheralOnPathIsEndpoint) {
+  std::vector<std::array<int, 2>> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  auto g = build_graph(5, edges);
+  int v = pseudo_peripheral_vertex(g, 2);
+  EXPECT_TRUE(v == 0 || v == 4);
+}
+
+TEST(Graph, ConnectedComponentsCountsPieces) {
+  // Two components: 0-1-2 and 3-4.
+  std::vector<std::array<int, 2>> edges = {{0, 1}, {1, 2}, {3, 4}};
+  auto g = build_graph(5, edges);
+  std::vector<int> comp;
+  EXPECT_EQ(connected_components(g, comp), 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Graph, ConnectedComponentsWithMask) {
+  // Path 0-1-2-3; masking out 1 splits it.
+  std::vector<std::array<int, 2>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  auto g = build_graph(4, edges);
+  std::vector<char> mask = {1, 0, 1, 1};
+  std::vector<int> comp;
+  EXPECT_EQ(connected_components(g, comp, mask), 2);
+  EXPECT_EQ(comp[1], -1);
+}
+
+}  // namespace

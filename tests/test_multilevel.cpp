@@ -1,0 +1,98 @@
+// Tests for the multilevel k-way partitioner: coverage, balance, cut
+// quality relative to the single-level grower, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mesh/generator.hpp"
+#include "partition/multilevel.hpp"
+
+namespace {
+
+using namespace f3d;
+using namespace f3d::part;
+
+mesh::Graph wing_graph(int nx = 12, int ny = 8, int nz = 8) {
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = nx, .ny = ny, .nz = nz});
+  return mesh::build_graph(m.num_vertices(), m.edges());
+}
+
+TEST(Multilevel, CoversAllVerticesAllParts) {
+  auto g = wing_graph();
+  for (int np : {2, 4, 8, 16, 32}) {
+    auto p = multilevel_kway(g, np);
+    ASSERT_EQ(p.nparts, np);
+    std::set<int> used(p.part.begin(), p.part.end());
+    EXPECT_EQ(static_cast<int>(used.size()), np) << np;
+    for (int v : p.part) EXPECT_TRUE(v >= 0 && v < np);
+  }
+}
+
+TEST(Multilevel, RespectsBalanceTolerance) {
+  auto g = wing_graph();
+  MultilevelOptions opts;
+  opts.imbalance_tol = 1.05;
+  for (int np : {4, 8, 16}) {
+    auto p = multilevel_kway(g, np, opts);
+    auto q = evaluate(g, p);
+    // Allow slack for the +/-1-vertex granularity on top of the weight
+    // tolerance.
+    EXPECT_LT(q.imbalance, 1.12) << np << " parts";
+  }
+}
+
+TEST(Multilevel, CutsFewerEdgesThanGreedyGrowth) {
+  auto g = wing_graph();
+  long long cut_ml = 0, cut_greedy = 0;
+  for (int np : {8, 16, 32}) {
+    cut_ml += evaluate(g, multilevel_kway(g, np)).edge_cut;
+    cut_greedy += evaluate(g, kway_grow(g, np)).edge_cut;
+  }
+  EXPECT_LT(cut_ml, cut_greedy)
+      << "multilevel should beat single-level growth on total cut";
+}
+
+TEST(Multilevel, PartsAreMostlyConnected) {
+  // FM refinement can strand a vertex occasionally; require near-full
+  // connectivity (the k-MeTiS character Fig 4 depends on).
+  auto g = wing_graph();
+  auto p = multilevel_kway(g, 16);
+  auto q = evaluate(g, p);
+  EXPECT_LE(q.total_components, 16 + 3);
+}
+
+TEST(Multilevel, DeterministicInSeed) {
+  auto g = wing_graph(8, 5, 5);
+  MultilevelOptions a, b;
+  a.seed = b.seed = 12;
+  EXPECT_EQ(multilevel_kway(g, 8, a).part, multilevel_kway(g, 8, b).part);
+  MultilevelOptions c;
+  c.seed = 13;
+  EXPECT_NE(multilevel_kway(g, 8, a).part, multilevel_kway(g, 8, c).part);
+}
+
+TEST(Multilevel, SinglePartAndTinyGraphs) {
+  auto g = wing_graph(2, 2, 2);
+  auto p1 = multilevel_kway(g, 1);
+  for (int v : p1.part) EXPECT_EQ(v, 0);
+  // nparts near n.
+  const int n = static_cast<int>(g.ptr.size()) - 1;
+  auto pn = multilevel_kway(g, n / 2);
+  std::set<int> used(pn.part.begin(), pn.part.end());
+  EXPECT_EQ(static_cast<int>(used.size()), n / 2);
+}
+
+TEST(Multilevel, RefinementImprovesOverNoRefinement) {
+  auto g = wing_graph();
+  MultilevelOptions no_refine;
+  no_refine.refine_passes = 0;
+  MultilevelOptions with_refine;
+  with_refine.refine_passes = 4;
+  const auto cut0 = evaluate(g, multilevel_kway(g, 16, no_refine)).edge_cut;
+  const auto cut4 = evaluate(g, multilevel_kway(g, 16, with_refine)).edge_cut;
+  EXPECT_LE(cut4, cut0);
+}
+
+}  // namespace

@@ -1,0 +1,355 @@
+// Tests for the sparse substrate: vector kernels, CSR/BCSR formats, layout
+// equivalence (the operators behind the paper's Table 1 must be identical
+// across layouts), and ILU(k) factorization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "mesh/generator.hpp"
+#include "sparse/assembly.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/vec.hpp"
+
+namespace {
+
+using namespace f3d;
+using namespace f3d::sparse;
+
+// --- vector kernels ----------------------------------------------------
+
+TEST(Vec, DotAndNorm) {
+  Vec x = {3, 4};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(Vec, AxpyFamilies) {
+  Vec x = {1, 2, 3}, y = {10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12, 24, 36}));
+  aypx(0.5, x, y);  // y = x + 0.5 y
+  EXPECT_EQ(y, (Vec{7, 14, 21}));
+  Vec w;
+  waxpy(w, -1.0, x, y);  // w = -x + y
+  EXPECT_EQ(w, (Vec{6, 12, 18}));
+  scale(w, 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  set_all(w, 0.0);
+  EXPECT_DOUBLE_EQ(norm2(w), 0.0);
+}
+
+TEST(Vec, SizeMismatchThrows) {
+  Vec x = {1, 2}, y = {1};
+  EXPECT_THROW(dot(x, y), Error);
+  EXPECT_THROW(axpy(1.0, x, y), Error);
+}
+
+// --- fixtures ----------------------------------------------------------
+
+Stencil small_stencil() {
+  auto m = mesh::generate_box_mesh(3, 3, 3);
+  return stencil_from_mesh(m);
+}
+
+// --- stencil -----------------------------------------------------------
+
+TEST(Stencil, ContainsSelfAndIsSorted) {
+  auto s = small_stencil();
+  for (int i = 0; i < s.n; ++i) {
+    bool self = false;
+    for (int p = s.ptr[i]; p < s.ptr[i + 1]; ++p) {
+      if (s.col[p] == i) self = true;
+      if (p > s.ptr[i]) {
+        EXPECT_LT(s.col[p - 1], s.col[p]);
+      }
+    }
+    EXPECT_TRUE(self) << "row " << i;
+  }
+}
+
+TEST(Stencil, SymmetricPattern) {
+  auto s = small_stencil();
+  auto has = [&](int i, int j) {
+    for (int p = s.ptr[i]; p < s.ptr[i + 1]; ++p)
+      if (s.col[p] == j) return true;
+    return false;
+  };
+  for (int i = 0; i < s.n; ++i)
+    for (int p = s.ptr[i]; p < s.ptr[i + 1]; ++p)
+      EXPECT_TRUE(has(s.col[p], i));
+}
+
+// --- formats and layout equivalence -----------------------------------
+
+TEST(Formats, BcsrEqualsInterlacedPointCsr) {
+  auto s = small_stencil();
+  const int nb = 4;
+  auto fn = synthetic_values(s);
+  auto bm = build_bcsr(s, nb, fn);
+  auto pm = build_point_csr(s, nb, fn, FieldLayout::kInterlaced);
+
+  Rng rng(1);
+  Vec x(static_cast<std::size_t>(s.n) * nb);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  Vec y1, y2;
+  bm.spmv(x, y1);
+  pm.spmv(x, y2);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(Formats, NonInterlacedIsPermutedInterlaced) {
+  auto s = small_stencil();
+  const int nb = 5;
+  auto fn = synthetic_values(s);
+  auto mi = build_point_csr(s, nb, fn, FieldLayout::kInterlaced);
+  auto mn = build_point_csr(s, nb, fn, FieldLayout::kNonInterlaced);
+
+  Rng rng(2);
+  Vec xi(static_cast<std::size_t>(s.n) * nb);
+  for (auto& v : xi) v = rng.uniform(-1, 1);
+  auto xn = convert_layout(xi, FieldLayout::kInterlaced,
+                           FieldLayout::kNonInterlaced, s.n, nb);
+
+  Vec yi, yn;
+  mi.spmv(xi, yi);
+  mn.spmv(xn, yn);
+  auto yn_as_i = convert_layout(yn, FieldLayout::kNonInterlaced,
+                                FieldLayout::kInterlaced, s.n, nb);
+  for (std::size_t i = 0; i < yi.size(); ++i)
+    EXPECT_NEAR(yi[i], yn_as_i[i], 1e-13);
+}
+
+TEST(Formats, NonInterlacedHasHugeBandwidth) {
+  auto s = small_stencil();
+  const int nb = 4;
+  auto fn = synthetic_values(s);
+  auto mi = build_point_csr(s, nb, fn, FieldLayout::kInterlaced);
+  auto mn = build_point_csr(s, nb, fn, FieldLayout::kNonInterlaced);
+  auto bandwidth = [](const Csr<double>& m) {
+    int bw = 0;
+    for (int i = 0; i < m.n; ++i)
+      for (int p = m.ptr[i]; p < m.ptr[i + 1]; ++p)
+        bw = std::max(bw, std::abs(m.col[p] - i));
+    return bw;
+  };
+  // The non-interlaced bandwidth is ~(nb-1)*N (paper Eq. 1 regime); the
+  // interlaced one is ~nb*beta (Eq. 2 regime).
+  EXPECT_GT(bandwidth(mn), (nb - 1) * s.n / 2);
+  EXPECT_LT(bandwidth(mi), bandwidth(mn) / 2);
+}
+
+TEST(Formats, ConvertLayoutRoundTrips) {
+  Rng rng(3);
+  const int n = 10, nb = 4;
+  Vec x(static_cast<std::size_t>(n) * nb);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  auto y = convert_layout(x, FieldLayout::kInterlaced,
+                          FieldLayout::kNonInterlaced, n, nb);
+  auto z = convert_layout(y, FieldLayout::kNonInterlaced,
+                          FieldLayout::kInterlaced, n, nb);
+  EXPECT_EQ(x, z);
+}
+
+TEST(Formats, FloatConversionPreservesValuesApprox) {
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto m = build_bcsr(s, 4, fn);
+  auto mf = m.convert<float>();
+  Rng rng(4);
+  Vec x(static_cast<std::size_t>(m.scalar_n()));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  Vec yd, yf;
+  m.spmv(x, yd);
+  mf.spmv(x, yf);
+  for (std::size_t i = 0; i < yd.size(); ++i)
+    EXPECT_NEAR(yd[i], yf[i], 1e-5 * (1.0 + std::abs(yd[i])));
+}
+
+TEST(Formats, FindLocatesEntries) {
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto pm = build_point_csr(s, 2, fn, FieldLayout::kInterlaced);
+  ASSERT_NE(pm.find(0, 0), nullptr);
+  auto bm = build_bcsr(s, 2, fn);
+  ASSERT_NE(bm.find_block(0, 0), nullptr);
+  EXPECT_EQ(bm.find_block(0, s.n - 1), nullptr);  // corner not adjacent
+}
+
+// --- ILU ---------------------------------------------------------------
+
+TEST(Ilu, SymbolicLevel0EqualsInput) {
+  auto s = small_stencil();
+  auto pat = ilu_symbolic(s.n, s.ptr, s.col, 0);
+  EXPECT_EQ(pat.ptr, s.ptr);
+  EXPECT_EQ(pat.col, s.col);
+  for (int i = 0; i < s.n; ++i) EXPECT_EQ(pat.col[pat.diag[i]], i);
+}
+
+TEST(Ilu, FillGrowsWithLevel) {
+  auto s = small_stencil();
+  auto p0 = ilu_symbolic(s.n, s.ptr, s.col, 0);
+  auto p1 = ilu_symbolic(s.n, s.ptr, s.col, 1);
+  auto p2 = ilu_symbolic(s.n, s.ptr, s.col, 2);
+  EXPECT_LT(p0.nnz(), p1.nnz());
+  EXPECT_LT(p1.nnz(), p2.nnz());
+}
+
+TEST(Ilu, PatternsNest) {
+  auto s = small_stencil();
+  auto p1 = ilu_symbolic(s.n, s.ptr, s.col, 1);
+  auto p2 = ilu_symbolic(s.n, s.ptr, s.col, 2);
+  // Every level-1 entry appears at level 2.
+  for (int i = 0; i < s.n; ++i) {
+    int q = p2.ptr[i];
+    for (int p = p1.ptr[i]; p < p1.ptr[i + 1]; ++p) {
+      while (q < p2.ptr[i + 1] && p2.col[q] < p1.col[p]) ++q;
+      ASSERT_LT(q, p2.ptr[i + 1]);
+      EXPECT_EQ(p2.col[q], p1.col[p]);
+    }
+  }
+}
+
+TEST(Ilu, TridiagonalFullFactorizationIsExact) {
+  // For a tridiagonal matrix, ILU(0) is the exact LU: solve must match a
+  // direct solution.
+  const int n = 50;
+  Csr<double> a;
+  a.n = n;
+  a.ptr.push_back(0);
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) {
+      a.col.push_back(i - 1);
+      a.val.push_back(-1.0);
+    }
+    a.col.push_back(i);
+    a.val.push_back(2.5);
+    if (i < n - 1) {
+      a.col.push_back(i + 1);
+      a.val.push_back(-1.0);
+    }
+    a.ptr.push_back(static_cast<int>(a.col.size()));
+  }
+  auto pat = ilu_symbolic(a, 0);
+  auto f = ilu_factor_point<double>(a, pat);
+
+  Rng rng(5);
+  Vec x_true(n), b(n);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  a.spmv(x_true, b);
+  Vec x(n);
+  f.solve(b, x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(Ilu, PointIluIsApproximateInverse) {
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto a = build_point_csr(s, 2, fn, FieldLayout::kInterlaced);
+  auto pat = ilu_symbolic(a, 1);
+  auto f = ilu_factor_point<double>(a, pat);
+
+  // For a diagonally dominant A, the preconditioned residual of one solve
+  // should shrink strongly: || b - A M^{-1} b || << || b ||.
+  Rng rng(6);
+  Vec b(a.n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Vec x(a.n), r(a.n);
+  f.solve(b, x);
+  a.spmv(x, r);
+  for (int i = 0; i < a.n; ++i) r[i] = b[i] - r[i];
+  EXPECT_LT(norm2(r), 0.25 * norm2(b));
+}
+
+TEST(Ilu, BlockIluMatchesPointIluOnBlockDiagonalPattern) {
+  // With block size 1 the block path must numerically equal the point path.
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto bm = build_bcsr(s, 1, fn);
+  auto pm = bcsr_to_point(bm);
+  auto patb = ilu_symbolic(bm, 1);
+  auto patp = ilu_symbolic(pm, 1);
+  auto fb = ilu_factor_block<double>(bm, patb);
+  auto fp = ilu_factor_point<double>(pm, patp);
+
+  Rng rng(7);
+  Vec b(pm.n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Vec xb(pm.n), xp(pm.n);
+  fb.solve(b, xb);
+  fp.solve(b, xp);
+  for (int i = 0; i < pm.n; ++i) EXPECT_NEAR(xb[i], xp[i], 1e-12);
+}
+
+TEST(Ilu, BlockIluReducesResidual) {
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto a = build_bcsr(s, 4, fn);
+  auto pat = ilu_symbolic(a, 0);
+  auto f = ilu_factor_block<double>(a, pat);
+
+  Rng rng(8);
+  Vec b(static_cast<std::size_t>(a.scalar_n()));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Vec x(b.size()), r(b.size());
+  f.solve(b, x);
+  a.spmv(x, r);
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - r[i];
+  EXPECT_LT(norm2(r), 0.25 * norm2(b));
+}
+
+TEST(Ilu, HigherFillIsMoreAccurate) {
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto a = build_bcsr(s, 4, fn);
+  Rng rng(9);
+  Vec b(static_cast<std::size_t>(a.scalar_n()));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  auto resid = [&](int level) {
+    auto f = ilu_factor_block<double>(a, ilu_symbolic(a, level));
+    Vec x(b.size()), r(b.size());
+    f.solve(b, x);
+    a.spmv(x, r);
+    for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - r[i];
+    return norm2(r);
+  };
+  const double r0 = resid(0), r1 = resid(1), r2 = resid(2);
+  EXPECT_LT(r1, r0);
+  EXPECT_LT(r2, r1);
+}
+
+TEST(Ilu, FloatStorageCloseToDouble) {
+  auto s = small_stencil();
+  auto fn = synthetic_values(s);
+  auto a = build_bcsr(s, 4, fn);
+  auto pat = ilu_symbolic(a, 1);
+  auto fd = ilu_factor_block<double>(a, pat);
+  auto ff = ilu_factor_block<float>(a, pat);
+
+  Rng rng(10);
+  Vec b(static_cast<std::size_t>(a.scalar_n()));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Vec xd(b.size()), xf(b.size());
+  fd.solve(b, xd);
+  ff.solve(b, xf);
+  double diff = 0, ref = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    diff += (xd[i] - xf[i]) * (xd[i] - xf[i]);
+    ref += xd[i] * xd[i];
+  }
+  EXPECT_LT(std::sqrt(diff), 1e-4 * std::sqrt(ref));
+}
+
+TEST(Ilu, MissingDiagonalThrows) {
+  std::vector<int> ptr = {0, 1, 2};
+  std::vector<int> col = {1, 0};  // 2x2 anti-diagonal: no (0,0)
+  EXPECT_THROW(ilu_symbolic(2, ptr, col, 0), Error);
+}
+
+}  // namespace
