@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subsolver.dir/bench_ablation_subsolver.cpp.o"
+  "CMakeFiles/bench_ablation_subsolver.dir/bench_ablation_subsolver.cpp.o.d"
+  "bench_ablation_subsolver"
+  "bench_ablation_subsolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_asci_red.dir/bench_fig1_asci_red.cpp.o"
+  "CMakeFiles/bench_fig1_asci_red.dir/bench_fig1_asci_red.cpp.o.d"
+  "bench_fig1_asci_red"
+  "bench_fig1_asci_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_asci_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cache_tlb.dir/bench_fig3_cache_tlb.cpp.o"
+  "CMakeFiles/bench_fig3_cache_tlb.dir/bench_fig3_cache_tlb.cpp.o.d"
+  "bench_fig3_cache_tlb"
+  "bench_fig3_cache_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cache_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

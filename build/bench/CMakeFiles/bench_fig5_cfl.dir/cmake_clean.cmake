@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cfl.dir/bench_fig5_cfl.cpp.o"
+  "CMakeFiles/bench_fig5_cfl.dir/bench_fig5_cfl.cpp.o.d"
+  "bench_fig5_cfl"
+  "bench_fig5_cfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

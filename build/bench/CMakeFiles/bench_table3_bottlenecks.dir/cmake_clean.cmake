@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bottlenecks.dir/bench_table3_bottlenecks.cpp.o"
+  "CMakeFiles/bench_table3_bottlenecks.dir/bench_table3_bottlenecks.cpp.o.d"
+  "bench_table3_bottlenecks"
+  "bench_table3_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

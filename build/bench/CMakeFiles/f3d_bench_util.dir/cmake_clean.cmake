@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/f3d_bench_util.dir/bench_util.cpp.o.d"
+  "libf3d_bench_util.a"
+  "libf3d_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

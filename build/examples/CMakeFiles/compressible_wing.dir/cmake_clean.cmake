@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressible_wing.dir/compressible_wing.cpp.o"
+  "CMakeFiles/compressible_wing.dir/compressible_wing.cpp.o.d"
+  "compressible_wing"
+  "compressible_wing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressible_wing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

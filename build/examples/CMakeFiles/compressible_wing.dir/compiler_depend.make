@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compressible_wing.
+# This may be replaced when dependencies are built.

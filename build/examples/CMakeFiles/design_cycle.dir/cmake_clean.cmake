@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_cycle.dir/design_cycle.cpp.o"
+  "CMakeFiles/design_cycle.dir/design_cycle.cpp.o.d"
+  "design_cycle"
+  "design_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

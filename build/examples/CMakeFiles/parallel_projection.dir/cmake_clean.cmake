@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_projection.dir/parallel_projection.cpp.o"
+  "CMakeFiles/parallel_projection.dir/parallel_projection.cpp.o.d"
+  "parallel_projection"
+  "parallel_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

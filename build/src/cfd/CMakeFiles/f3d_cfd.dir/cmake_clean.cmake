@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_cfd.dir/euler.cpp.o"
+  "CMakeFiles/f3d_cfd.dir/euler.cpp.o.d"
+  "CMakeFiles/f3d_cfd.dir/flux.cpp.o"
+  "CMakeFiles/f3d_cfd.dir/flux.cpp.o.d"
+  "CMakeFiles/f3d_cfd.dir/problem.cpp.o"
+  "CMakeFiles/f3d_cfd.dir/problem.cpp.o.d"
+  "libf3d_cfd.a"
+  "libf3d_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

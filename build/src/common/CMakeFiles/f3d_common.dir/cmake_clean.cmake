@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_common.dir/denselu.cpp.o"
+  "CMakeFiles/f3d_common.dir/denselu.cpp.o.d"
+  "CMakeFiles/f3d_common.dir/options.cpp.o"
+  "CMakeFiles/f3d_common.dir/options.cpp.o.d"
+  "CMakeFiles/f3d_common.dir/table.cpp.o"
+  "CMakeFiles/f3d_common.dir/table.cpp.o.d"
+  "libf3d_common.a"
+  "libf3d_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

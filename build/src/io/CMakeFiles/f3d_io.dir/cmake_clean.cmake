@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_io.dir/csv.cpp.o"
+  "CMakeFiles/f3d_io.dir/csv.cpp.o.d"
+  "CMakeFiles/f3d_io.dir/vtk.cpp.o"
+  "CMakeFiles/f3d_io.dir/vtk.cpp.o.d"
+  "libf3d_io.a"
+  "libf3d_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/dual.cpp" "src/mesh/CMakeFiles/f3d_mesh.dir/dual.cpp.o" "gcc" "src/mesh/CMakeFiles/f3d_mesh.dir/dual.cpp.o.d"
+  "/root/repo/src/mesh/generator.cpp" "src/mesh/CMakeFiles/f3d_mesh.dir/generator.cpp.o" "gcc" "src/mesh/CMakeFiles/f3d_mesh.dir/generator.cpp.o.d"
+  "/root/repo/src/mesh/graph.cpp" "src/mesh/CMakeFiles/f3d_mesh.dir/graph.cpp.o" "gcc" "src/mesh/CMakeFiles/f3d_mesh.dir/graph.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/mesh/CMakeFiles/f3d_mesh.dir/mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/f3d_mesh.dir/mesh.cpp.o.d"
+  "/root/repo/src/mesh/ordering.cpp" "src/mesh/CMakeFiles/f3d_mesh.dir/ordering.cpp.o" "gcc" "src/mesh/CMakeFiles/f3d_mesh.dir/ordering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f3d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

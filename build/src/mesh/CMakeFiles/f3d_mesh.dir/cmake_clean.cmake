@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_mesh.dir/dual.cpp.o"
+  "CMakeFiles/f3d_mesh.dir/dual.cpp.o.d"
+  "CMakeFiles/f3d_mesh.dir/generator.cpp.o"
+  "CMakeFiles/f3d_mesh.dir/generator.cpp.o.d"
+  "CMakeFiles/f3d_mesh.dir/graph.cpp.o"
+  "CMakeFiles/f3d_mesh.dir/graph.cpp.o.d"
+  "CMakeFiles/f3d_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/f3d_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/f3d_mesh.dir/ordering.cpp.o"
+  "CMakeFiles/f3d_mesh.dir/ordering.cpp.o.d"
+  "libf3d_mesh.a"
+  "libf3d_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libf3d_mesh.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_par.dir/loadmodel.cpp.o"
+  "CMakeFiles/f3d_par.dir/loadmodel.cpp.o.d"
+  "CMakeFiles/f3d_par.dir/stepmodel.cpp.o"
+  "CMakeFiles/f3d_par.dir/stepmodel.cpp.o.d"
+  "libf3d_par.a"
+  "libf3d_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

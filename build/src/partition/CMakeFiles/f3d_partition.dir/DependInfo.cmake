@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/f3d_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/f3d_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/f3d_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/f3d_partition.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f3d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/f3d_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

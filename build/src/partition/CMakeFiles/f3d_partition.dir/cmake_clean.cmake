@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/f3d_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/f3d_partition.dir/partition.cpp.o"
+  "CMakeFiles/f3d_partition.dir/partition.cpp.o.d"
+  "libf3d_partition.a"
+  "libf3d_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for f3d_partition.
+# This may be replaced when dependencies are built.

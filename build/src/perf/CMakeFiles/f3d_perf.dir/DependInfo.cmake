@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/machine.cpp" "src/perf/CMakeFiles/f3d_perf.dir/machine.cpp.o" "gcc" "src/perf/CMakeFiles/f3d_perf.dir/machine.cpp.o.d"
+  "/root/repo/src/perf/models.cpp" "src/perf/CMakeFiles/f3d_perf.dir/models.cpp.o" "gcc" "src/perf/CMakeFiles/f3d_perf.dir/models.cpp.o.d"
+  "/root/repo/src/perf/stream.cpp" "src/perf/CMakeFiles/f3d_perf.dir/stream.cpp.o" "gcc" "src/perf/CMakeFiles/f3d_perf.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f3d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_perf.dir/machine.cpp.o"
+  "CMakeFiles/f3d_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/f3d_perf.dir/models.cpp.o"
+  "CMakeFiles/f3d_perf.dir/models.cpp.o.d"
+  "CMakeFiles/f3d_perf.dir/stream.cpp.o"
+  "CMakeFiles/f3d_perf.dir/stream.cpp.o.d"
+  "libf3d_perf.a"
+  "libf3d_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

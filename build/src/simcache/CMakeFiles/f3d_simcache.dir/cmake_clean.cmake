@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_simcache.dir/cache.cpp.o"
+  "CMakeFiles/f3d_simcache.dir/cache.cpp.o.d"
+  "libf3d_simcache.a"
+  "libf3d_simcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

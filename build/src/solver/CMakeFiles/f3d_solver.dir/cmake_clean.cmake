@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_solver.dir/bicgstab.cpp.o"
+  "CMakeFiles/f3d_solver.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/f3d_solver.dir/coarse.cpp.o"
+  "CMakeFiles/f3d_solver.dir/coarse.cpp.o.d"
+  "CMakeFiles/f3d_solver.dir/gmres.cpp.o"
+  "CMakeFiles/f3d_solver.dir/gmres.cpp.o.d"
+  "CMakeFiles/f3d_solver.dir/newton.cpp.o"
+  "CMakeFiles/f3d_solver.dir/newton.cpp.o.d"
+  "CMakeFiles/f3d_solver.dir/precond.cpp.o"
+  "CMakeFiles/f3d_solver.dir/precond.cpp.o.d"
+  "libf3d_solver.a"
+  "libf3d_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/assembly.cpp" "src/sparse/CMakeFiles/f3d_sparse.dir/assembly.cpp.o" "gcc" "src/sparse/CMakeFiles/f3d_sparse.dir/assembly.cpp.o.d"
+  "/root/repo/src/sparse/ilu.cpp" "src/sparse/CMakeFiles/f3d_sparse.dir/ilu.cpp.o" "gcc" "src/sparse/CMakeFiles/f3d_sparse.dir/ilu.cpp.o.d"
+  "/root/repo/src/sparse/vec.cpp" "src/sparse/CMakeFiles/f3d_sparse.dir/vec.cpp.o" "gcc" "src/sparse/CMakeFiles/f3d_sparse.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f3d_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/f3d_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

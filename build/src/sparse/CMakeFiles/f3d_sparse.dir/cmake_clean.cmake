@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f3d_sparse.dir/assembly.cpp.o"
+  "CMakeFiles/f3d_sparse.dir/assembly.cpp.o.d"
+  "CMakeFiles/f3d_sparse.dir/ilu.cpp.o"
+  "CMakeFiles/f3d_sparse.dir/ilu.cpp.o.d"
+  "CMakeFiles/f3d_sparse.dir/vec.cpp.o"
+  "CMakeFiles/f3d_sparse.dir/vec.cpp.o.d"
+  "libf3d_sparse.a"
+  "libf3d_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f3d_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_benchutil.cpp" "tests/CMakeFiles/test_benchutil.dir/test_benchutil.cpp.o" "gcc" "tests/CMakeFiles/test_benchutil.dir/test_benchutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/f3d_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/f3d_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/f3d_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/f3d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfd/CMakeFiles/f3d_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/f3d_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/f3d_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/f3d_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/f3d_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/f3d_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

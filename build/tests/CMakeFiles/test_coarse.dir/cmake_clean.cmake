@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarse.dir/test_coarse.cpp.o"
+  "CMakeFiles/test_coarse.dir/test_coarse.cpp.o.d"
+  "test_coarse"
+  "test_coarse.pdb"
+  "test_coarse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossvalidation.dir/test_crossvalidation.cpp.o"
+  "CMakeFiles/test_crossvalidation.dir/test_crossvalidation.cpp.o.d"
+  "test_crossvalidation"
+  "test_crossvalidation.pdb"
+  "test_crossvalidation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossvalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edgecases.dir/test_edgecases.cpp.o"
+  "CMakeFiles/test_edgecases.dir/test_edgecases.cpp.o.d"
+  "test_edgecases"
+  "test_edgecases.pdb"
+  "test_edgecases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edgecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcache.dir/test_simcache.cpp.o"
+  "CMakeFiles/test_simcache.dir/test_simcache.cpp.o.d"
+  "test_simcache"
+  "test_simcache.pdb"
+  "test_simcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver2.dir/test_solver2.cpp.o"
+  "CMakeFiles/test_solver2.dir/test_solver2.cpp.o.d"
+  "test_solver2"
+  "test_solver2.pdb"
+  "test_solver2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

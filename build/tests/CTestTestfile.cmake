@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_ordering[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_cfd[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_simcache[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_coarse[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_solver2[1]_include.cmake")
+include("/root/repo/build/tests/test_edgecases[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_crossvalidation[1]_include.cmake")
+include("/root/repo/build/tests/test_benchutil[1]_include.cmake")
