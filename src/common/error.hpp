@@ -16,11 +16,27 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Numerical failure (zero pivot, NaN residual, singular operator) — as
+/// opposed to an API precondition violation. Recoverable in principle:
+/// the resilient solver paths downgrade these to status returns; the
+/// plain paths throw this subclass so callers can tell a solver breakdown
+/// apart from a programming error.
+class NumericalError : public Error {
+public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* cond, const char* file, int line,
                                const std::string& msg) {
   throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
               cond + "` failed" + (msg.empty() ? "" : ": " + msg));
+}
+[[noreturn]] inline void raise_numeric(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  throw NumericalError(std::string(file) + ":" + std::to_string(line) +
+                       ": numerical check `" + cond + "` failed" +
+                       (msg.empty() ? "" : ": " + msg));
 }
 }  // namespace detail
 
@@ -34,6 +50,14 @@ namespace detail {
 #define F3D_CHECK_MSG(cond, msg)                                      \
   do {                                                                \
     if (!(cond)) ::f3d::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Always-on check that throws f3d::NumericalError — for conditions that
+/// signal solver breakdown rather than caller misuse.
+#define F3D_NUMERIC_CHECK_MSG(cond, msg)                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::f3d::detail::raise_numeric(#cond, __FILE__, __LINE__, (msg)); \
   } while (0)
 
 /// Debug-only assert for hot loops.

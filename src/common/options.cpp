@@ -39,6 +39,13 @@ int Options::get_int(const std::string& name, int fallback) const {
   return std::atoi(it->second.c_str());
 }
 
+std::uint64_t Options::get_uint64(const std::string& name,
+                                  std::uint64_t fallback) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
 double Options::get_double(const std::string& name, double fallback) const {
   auto it = kv_.find(name);
   if (it == kv_.end() || it->second.empty()) return fallback;

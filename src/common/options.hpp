@@ -3,6 +3,7 @@
 // database: `-key value` or `-flag`. Examples and benches use it so every
 // experiment's parameters can be overridden from the shell.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +19,9 @@ public:
   [[nodiscard]] bool has(const std::string& name) const;
 
   [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  /// Full-width unsigned parse (PRNG seeds for fault-injection campaigns).
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& name,
+                                         std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "resilience/faults.hpp"
 
 namespace f3d::par {
 
@@ -62,14 +63,30 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   F3D_CHECK(load.procs >= 1);
   StepBreakdown out;
 
+  // Fault-injection site: a slow (or effectively failed) rank stretches
+  // the critical-path load of this step by the injector's magnitude while
+  // the average stays put — pure imbalance, the straggler signature.
+  PartitionLoad eff;
+  const PartitionLoad* lp = &load;
+  if (resilience::fault_fires(resilience::FaultSite::kRank)) {
+    const double slow =
+        resilience::active_injector()->magnitude(resilience::FaultSite::kRank);
+    eff = load;
+    eff.max_edges *= slow;
+    eff.max_owned *= slow;
+    out.straggler = true;
+    lp = &eff;
+  }
+  const PartitionLoad& load_eff = *lp;
+
   const double flux_evals = counts.flux_evals > 0
                                 ? counts.flux_evals
                                 : counts.linear_its + 3.0;
 
   // --- flux phase(s): instruction-bound compute ---------------------
-  const double t_flux_max = model_flux_phase(machine, load, work, mode);
+  const double t_flux_max = model_flux_phase(machine, load_eff, work, mode);
   const double t_flux_avg =
-      t_flux_max * (load.avg_edges / std::max(load.max_edges, 1.0));
+      t_flux_max * (load_eff.avg_edges / std::max(load_eff.max_edges, 1.0));
   out.t_flux = flux_evals * t_flux_avg;
 
   // --- sparse linear algebra: memory-bandwidth-bound ------------------
@@ -77,7 +94,7 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   const int ranks_per_node = mode == NodeMode::kMpi2 ? 2 : 1;
   const double bw = machine.mem_bw_mbs * 1e6 / ranks_per_node;
   const double sparse_bytes_max =
-      load.max_owned * work.sparse_bytes_per_vertex_it;
+      load_eff.max_owned * work.sparse_bytes_per_vertex_it;
   const double sparse_bytes_avg =
       load.avg_owned * work.sparse_bytes_per_vertex_it;
   const double t_sparse_max = counts.linear_its * sparse_bytes_max / bw;
@@ -152,6 +169,7 @@ SolveSimulation simulate_solve(const perf::MachineModel& machine,
   sim.step_seconds.reserve(steps.size());
   for (const auto& counts : steps) {
     auto b = model_step(machine, load, work, counts, mode);
+    if (b.straggler) ++sim.straggler_steps;
     sim.step_seconds.push_back(b.total());
     sim.total_seconds += b.total();
     sim.aggregate.t_flux += b.t_flux;

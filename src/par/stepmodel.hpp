@@ -56,6 +56,11 @@ struct StepBreakdown {
     return total() > 0 ? 100.0 * part / total() : 0;
   }
 
+  /// An injected slow/failed rank (FaultSite::kRank) stretched this step:
+  /// the critical-path load was scaled by the injector's magnitude, so the
+  /// step shows the imbalance signature of a straggler processor.
+  bool straggler = false;
+
   double scatter_bytes_total = 0;  ///< data moved per step, all procs
   /// "Application level effective bandwidth per node" (Table 3's last
   /// column): data each node moved / time it spent in scatters.
@@ -93,6 +98,7 @@ struct SolveSimulation {
   double total_seconds = 0;
   std::vector<double> step_seconds;
   StepBreakdown aggregate;  ///< phase times summed over steps
+  int straggler_steps = 0;  ///< steps stretched by an injected slow rank
 };
 SolveSimulation simulate_solve(const perf::MachineModel& machine,
                                const PartitionLoad& load,

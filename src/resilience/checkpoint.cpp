@@ -1,0 +1,142 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace f3d::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', '3', 'D', 'C', 'K', 'P', 'T', '2'};
+
+void put_bytes(std::string& buf, const void* p, std::size_t n) {
+  buf.append(static_cast<const char*>(p), n);
+}
+template <class T>
+void put(std::string& buf, T v) {
+  put_bytes(buf, &v, sizeof(T));
+}
+void put_string(std::string& buf, const std::string& s) {
+  put<std::int64_t>(buf, static_cast<std::int64_t>(s.size()));
+  put_bytes(buf, s.data(), s.size());
+}
+
+struct Reader {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  bool take(void* out, std::size_t n) {
+    if (!ok || static_cast<std::size_t>(end - p) < n) return ok = false;
+    std::memcpy(out, p, n);
+    p += n;
+    return true;
+  }
+  template <class T>
+  T get() {
+    T v{};
+    take(&v, sizeof(T));
+    return v;
+  }
+  std::string get_string() {
+    const auto n = get<std::int64_t>();
+    if (!ok || n < 0 || static_cast<std::size_t>(end - p) < static_cast<std::size_t>(n))
+      return ok = false, std::string{};
+    std::string s(p, static_cast<std::size_t>(n));
+    p += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck) {
+  std::string buf;
+  buf.reserve(64 + ck.x.size() * sizeof(double));
+  put_bytes(buf, kMagic, sizeof(kMagic));
+  put<std::int64_t>(buf, ck.step);
+  put<std::int64_t>(buf, ck.steps_done);
+  put<std::int64_t>(buf, static_cast<std::int64_t>(ck.x.size()));
+  put_bytes(buf, ck.x.data(), ck.x.size() * sizeof(double));
+  put(buf, ck.rnorm);
+  put(buf, ck.r0);
+  put(buf, ck.cfl_relax);
+  put(buf, ck.function_evaluations);
+  put(buf, ck.total_linear_iterations);
+  put(buf, ck.gmres_restart);
+  put(buf, ck.krylov);
+  put<std::int8_t>(buf, ck.has_injector ? 1 : 0);
+  if (ck.has_injector) {
+    put(buf, ck.injector.seed);
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      put(buf, ck.injector.draws[static_cast<std::size_t>(i)]);
+      put(buf, ck.injector.fires[static_cast<std::size_t>(i)]);
+    }
+  }
+  const auto& events = ck.log.events();
+  put<std::int64_t>(buf, static_cast<std::int64_t>(events.size()));
+  for (const auto& e : events) {
+    put<std::int32_t>(buf, e.step);
+    put<std::int32_t>(buf, static_cast<std::int32_t>(e.action));
+    put_string(buf, e.detail);
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<PtcCheckpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  Reader rd{buf.data(), buf.data() + buf.size()};
+
+  char magic[sizeof(kMagic)];
+  if (!rd.take(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+
+  PtcCheckpoint ck;
+  ck.step = rd.get<std::int64_t>();
+  ck.steps_done = rd.get<std::int64_t>();
+  const auto n = rd.get<std::int64_t>();
+  if (!rd.ok || n < 0) return std::nullopt;
+  ck.x.resize(static_cast<std::size_t>(n));
+  rd.take(ck.x.data(), ck.x.size() * sizeof(double));
+  ck.rnorm = rd.get<double>();
+  ck.r0 = rd.get<double>();
+  ck.cfl_relax = rd.get<double>();
+  ck.function_evaluations = rd.get<std::int64_t>();
+  ck.total_linear_iterations = rd.get<std::int64_t>();
+  ck.gmres_restart = rd.get<std::int32_t>();
+  ck.krylov = rd.get<std::int32_t>();
+  ck.has_injector = rd.get<std::int8_t>() != 0;
+  if (ck.has_injector) {
+    ck.injector.seed = rd.get<std::uint64_t>();
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      ck.injector.draws[static_cast<std::size_t>(i)] = rd.get<int>();
+      ck.injector.fires[static_cast<std::size_t>(i)] = rd.get<int>();
+    }
+  }
+  const auto nev = rd.get<std::int64_t>();
+  if (!rd.ok || nev < 0) return std::nullopt;
+  for (std::int64_t i = 0; i < nev; ++i) {
+    const int step = rd.get<std::int32_t>();
+    const auto action = static_cast<RecoveryAction>(rd.get<std::int32_t>());
+    std::string detail = rd.get_string();
+    if (!rd.ok) return std::nullopt;
+    ck.log.add(step, action, std::move(detail));
+  }
+  if (!rd.ok) return std::nullopt;
+  return ck;
+}
+
+}  // namespace f3d::resilience

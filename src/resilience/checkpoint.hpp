@@ -1,0 +1,52 @@
+#pragma once
+// Checkpoint/restart for the psi-NKS driver: everything the PTC outer
+// loop needs to resume a killed run bit-identically — the state vector
+// (raw IEEE-754 bytes, no text round-trip), the continuation state (step
+// index, residual norms, CFL relaxation), the escalation state of the
+// recovery ladder, the fault injector's stream position, and the recovery
+// log so far. Writes are atomic (temp file + rename) so a kill during a
+// checkpoint leaves the previous one intact.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/faults.hpp"
+#include "resilience/recovery.hpp"
+
+namespace f3d::resilience {
+
+struct PtcCheckpoint {
+  // Outer-loop position.
+  std::int64_t step = 0;        ///< next pseudo-timestep to execute
+  std::int64_t steps_done = 0;  ///< accepted steps so far
+  std::vector<double> x;        ///< state vector, bit-exact
+
+  // Continuation state (SER law inputs).
+  double rnorm = 0;      ///< steady residual norm at the checkpoint
+  double r0 = 0;         ///< initial residual norm of the original run
+  double cfl_relax = 1;  ///< recovery ladder's CFL backtrack multiplier
+
+  // Result counters carried across the restart.
+  std::int64_t function_evaluations = 0;
+  std::int64_t total_linear_iterations = 0;
+
+  // Recovery-ladder escalation state.
+  std::int32_t gmres_restart = 0;  ///< escalated restart length (0 = unset)
+  std::int32_t krylov = 0;         ///< active Krylov method (PtcOptions::Krylov)
+
+  // Fault injector stream position (reproducible campaigns).
+  bool has_injector = false;
+  FaultInjector::State injector;
+
+  RecoveryLog log;
+};
+
+/// Serialize to `path` atomically; returns false on any I/O failure.
+bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck);
+
+/// Returns nullopt if the file is missing, truncated, or not a checkpoint.
+std::optional<PtcCheckpoint> load_checkpoint(const std::string& path);
+
+}  // namespace f3d::resilience

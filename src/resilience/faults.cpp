@@ -1,0 +1,115 @@
+#include "resilience/faults.hpp"
+
+#include "common/error.hpp"
+
+namespace f3d::resilience {
+
+namespace {
+
+FaultInjector* g_active = nullptr;
+
+int site_index(FaultSite site) {
+  const int i = static_cast<int>(site);
+  F3D_CHECK(i >= 0 && i < kNumFaultSites);
+  return i;
+}
+
+// Distinct, seed-derived stream per site (SplitMix64-style mix) so arming
+// or querying one site never perturbs another's draw sequence.
+std::uint64_t site_seed(std::uint64_t seed, int i) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kResidual: return "residual-nan";
+    case FaultSite::kFactorPivot: return "factor-pivot";
+    case FaultSite::kGmres: return "gmres-stagnation";
+    case FaultSite::kBicgstab: return "bicgstab-breakdown";
+    case FaultSite::kRank: return "rank-straggler";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {
+  for (int i = 0; i < kNumFaultSites; ++i) reseed_site(i);
+}
+
+void FaultInjector::reseed_site(int i) {
+  sites_[static_cast<std::size_t>(i)].rng = Rng(site_seed(seed_, i));
+}
+
+void FaultInjector::arm(FaultSite site, const FaultPlan& plan) {
+  sites_[static_cast<std::size_t>(site_index(site))].plan = plan;
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  SiteState& s = sites_[static_cast<std::size_t>(site_index(site))];
+  const int draw = s.draws++;
+  // Always consume exactly one uniform so the stream position equals the
+  // draw count — that is what makes checkpoint restore exact.
+  const double u = s.rng.uniform();
+  if (s.fires >= s.plan.max_fires) return false;
+  bool fire = s.plan.probability > 0 && u < s.plan.probability;
+  if (!fire && s.plan.fire_every > 0) {
+    const int past = draw - s.plan.skip_first;
+    fire = past >= 0 && past % s.plan.fire_every == 0;
+  }
+  if (fire) ++s.fires;
+  return fire;
+}
+
+int FaultInjector::draws(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site_index(site))].draws;
+}
+
+int FaultInjector::fires(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site_index(site))].fires;
+}
+
+int FaultInjector::total_fires() const {
+  int total = 0;
+  for (const auto& s : sites_) total += s.fires;
+  return total;
+}
+
+double FaultInjector::magnitude(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site_index(site))].plan.magnitude;
+}
+
+FaultInjector::State FaultInjector::state() const {
+  State st;
+  st.seed = seed_;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    st.draws[static_cast<std::size_t>(i)] = sites_[static_cast<std::size_t>(i)].draws;
+    st.fires[static_cast<std::size_t>(i)] = sites_[static_cast<std::size_t>(i)].fires;
+  }
+  return st;
+}
+
+void FaultInjector::restore(const State& st) {
+  seed_ = st.seed;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    SiteState& s = sites_[static_cast<std::size_t>(i)];
+    reseed_site(i);
+    s.draws = st.draws[static_cast<std::size_t>(i)];
+    s.fires = st.fires[static_cast<std::size_t>(i)];
+    // One uniform per historical draw (see should_fire).
+    for (int d = 0; d < s.draws; ++d) s.rng.uniform();
+  }
+}
+
+FaultInjector* active_injector() { return g_active; }
+
+FaultInjector* set_active_injector(FaultInjector* injector) {
+  FaultInjector* prev = g_active;
+  g_active = injector;
+  return prev;
+}
+
+}  // namespace f3d::resilience

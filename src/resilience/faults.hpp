@@ -1,0 +1,119 @@
+#pragma once
+// Deterministic fault injection for the solver stack. A FaultInjector is
+// armed with a per-site plan (probability draws from a seeded PRNG, or a
+// deterministic fire-every-k schedule) and registered process-wide; the
+// instrumented sites in the residual evaluation, the Schwarz/ILU
+// factorization, the Krylov inner loops, and the parallel step model then
+// ask `fault_fires(site)` at each opportunity. Every draw is counted, so
+// the injector state can be checkpointed and restored bit-identically
+// (see checkpoint.hpp) and every campaign run is reproducible from its
+// seed alone.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace f3d::resilience {
+
+/// Instrumented locations in the solver stack. GMRES and BiCGStab are
+/// separate sites on purpose: a persistent fault in one Krylov method is
+/// then recoverable by swapping to the other — exactly the asymmetry the
+/// driver's recovery ladder exploits.
+enum class FaultSite : int {
+  kResidual = 0,     ///< NaN/Inf corruption of a residual evaluation
+  kFactorPivot = 1,  ///< zeroed diagonal block before ILU/SSOR factorization
+  kGmres = 2,        ///< wiped Arnoldi direction (forced GMRES stagnation)
+  kBicgstab = 3,     ///< forced BiCGStab rho/omega breakdown
+  kRank = 4,         ///< simulated slow/failed rank in par::stepmodel
+};
+inline constexpr int kNumFaultSites = 5;
+
+[[nodiscard]] const char* fault_site_name(FaultSite site);
+
+/// When and how often one site fires. `probability` and `fire_every` are
+/// alternatives; if both are set the site fires when either rule does.
+struct FaultPlan {
+  double probability = 0;  ///< chance per draw (seeded, deterministic)
+  int fire_every = 0;      ///< fire on draws skip_first, skip_first+k, ...
+  int skip_first = 0;      ///< draws to let pass before the first fire
+  int max_fires = std::numeric_limits<int>::max();
+  double magnitude = 2.0;  ///< site-specific severity (e.g. rank slowdown)
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(std::uint64_t seed = 0);
+
+  /// Arm one site; un-armed sites never fire.
+  void arm(FaultSite site, const FaultPlan& plan);
+
+  /// One injection opportunity at `site`; advances the site's draw count
+  /// and PRNG regardless of the outcome (keeps streams site-independent).
+  bool should_fire(FaultSite site);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] int draws(FaultSite site) const;
+  [[nodiscard]] int fires(FaultSite site) const;
+  [[nodiscard]] int total_fires() const;
+  [[nodiscard]] double magnitude(FaultSite site) const;
+
+  /// Serializable position in every site's deterministic draw stream.
+  /// Plans are configuration, not state: a restored injector must be
+  /// re-armed with the same plans (the campaign driver owns those).
+  struct State {
+    std::uint64_t seed = 0;
+    std::array<int, kNumFaultSites> draws{};
+    std::array<int, kNumFaultSites> fires{};
+  };
+  [[nodiscard]] State state() const;
+  /// Rebuild the PRNG streams and fast-forward them to `s`.
+  void restore(const State& s);
+
+private:
+  struct SiteState {
+    FaultPlan plan;
+    Rng rng;
+    int draws = 0;
+    int fires = 0;
+  };
+  void reseed_site(int i);
+
+  std::uint64_t seed_ = 0;
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+/// Process-wide registry the injection sites consult. Null (the default)
+/// means every site is a no-op; cost of a disabled site is one branch.
+[[nodiscard]] FaultInjector* active_injector();
+/// Returns the previously active injector.
+FaultInjector* set_active_injector(FaultInjector* injector);
+
+/// RAII activation: installs `injector` (if non-null) for the scope's
+/// lifetime and restores the previous registration on exit.
+class InjectorScope {
+public:
+  explicit InjectorScope(FaultInjector* injector)
+      : installed_(injector != nullptr),
+        previous_(installed_ ? set_active_injector(injector) : nullptr) {}
+  ~InjectorScope() {
+    if (installed_) set_active_injector(previous_);
+  }
+  InjectorScope(const InjectorScope&) = delete;
+  InjectorScope& operator=(const InjectorScope&) = delete;
+
+private:
+  bool installed_;
+  FaultInjector* previous_;
+};
+
+/// One injection opportunity against the registered injector (no-op when
+/// none is registered).
+inline bool fault_fires(FaultSite site) {
+  FaultInjector* inj = active_injector();
+  return inj != nullptr && inj->should_fire(site);
+}
+
+}  // namespace f3d::resilience

@@ -1,0 +1,36 @@
+#include "resilience/recovery.hpp"
+
+namespace f3d::resilience {
+
+const char* recovery_action_name(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kDetectNanResidual: return "detect-nan-residual";
+    case RecoveryAction::kDetectDivergence: return "detect-divergence";
+    case RecoveryAction::kDetectBreakdown: return "detect-breakdown";
+    case RecoveryAction::kDetectStagnation: return "detect-stagnation";
+    case RecoveryAction::kDetectSingularFactor: return "detect-singular-factor";
+    case RecoveryAction::kStepRejected: return "step-rejected";
+    case RecoveryAction::kCflBacktrack: return "cfl-backtrack";
+    case RecoveryAction::kPrecRefresh: return "prec-refresh";
+    case RecoveryAction::kPivotShift: return "pivot-shift";
+    case RecoveryAction::kKrylovSwap: return "krylov-swap";
+    case RecoveryAction::kRestartEscalation: return "restart-escalation";
+    case RecoveryAction::kCoarseDisabled: return "coarse-disabled";
+    case RecoveryAction::kCheckpointWrite: return "checkpoint-write";
+    case RecoveryAction::kResume: return "resume";
+  }
+  return "unknown";
+}
+
+std::string RecoveryLog::to_string() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += "step " + std::to_string(e.step) + ": " +
+           recovery_action_name(e.action);
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace f3d::resilience

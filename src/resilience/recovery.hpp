@@ -1,0 +1,82 @@
+#pragma once
+// Structured record of every failure detection and recovery action the
+// resilient solver stack takes. The psi-NKS driver attaches a RecoveryLog
+// to its PtcResult so tests and benches can assert on exactly what
+// happened ("the zero pivot at step 7 was absorbed by a 1e-6 shift")
+// instead of grepping stderr.
+
+#include <string>
+#include <vector>
+
+namespace f3d::resilience {
+
+enum class RecoveryAction : int {
+  kDetectNanResidual = 0,  ///< non-finite residual evaluation observed
+  kDetectDivergence,       ///< residual blew up past the divergence factor
+  kDetectBreakdown,        ///< Krylov breakdown flagged by the inner solver
+  kDetectStagnation,       ///< GMRES restart cycles made no progress
+  kDetectSingularFactor,   ///< zero pivot / singular block in factorization
+  kStepRejected,           ///< pseudo-timestep rolled back to its start state
+  kCflBacktrack,           ///< CFL relaxation multiplier reduced
+  kPrecRefresh,            ///< preconditioner rebuild forced out of schedule
+  kPivotShift,             ///< Manteuffel-style diagonal shift absorbed a pivot
+  kKrylovSwap,             ///< BiCGStab swapped for GMRES after breakdown
+  kRestartEscalation,      ///< GMRES restart length escalated
+  kCoarseDisabled,         ///< singular coarse operator dropped for this refresh
+  kCheckpointWrite,        ///< PTC state serialized to disk
+  kResume,                 ///< PTC state restored from a checkpoint
+};
+
+[[nodiscard]] const char* recovery_action_name(RecoveryAction action);
+
+struct RecoveryEvent {
+  int step = 0;  ///< pseudo-timestep index the event happened in
+  RecoveryAction action = RecoveryAction::kStepRejected;
+  std::string detail;
+};
+
+class RecoveryLog {
+public:
+  void add(int step, RecoveryAction action, std::string detail = {}) {
+    events_.push_back({step, action, std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<RecoveryEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  [[nodiscard]] int count(RecoveryAction action) const {
+    int n = 0;
+    for (const auto& e : events_)
+      if (e.action == action) ++n;
+    return n;
+  }
+  /// Detections only (the "what went wrong" half of the log).
+  [[nodiscard]] int detections() const {
+    return count(RecoveryAction::kDetectNanResidual) +
+           count(RecoveryAction::kDetectDivergence) +
+           count(RecoveryAction::kDetectBreakdown) +
+           count(RecoveryAction::kDetectStagnation) +
+           count(RecoveryAction::kDetectSingularFactor);
+  }
+
+  /// One line per event: "step 7: pivot-shift (shift=1e-06)".
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  std::vector<RecoveryEvent> events_;
+};
+
+/// Outcome of a status-returning (non-throwing) factorization attempt,
+/// including any diagonal-shift ladder the Schwarz layer climbed.
+struct FactorReport {
+  bool ok = true;
+  int shift_attempts = 0;   ///< ladder rungs climbed across all subdomains
+  double shift_used = 0;    ///< largest shift that made a factorization pass
+  bool coarse_disabled = false;  ///< two-level only: coarse solve dropped
+  std::string detail;
+};
+
+}  // namespace f3d::resilience

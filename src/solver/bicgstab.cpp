@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "resilience/faults.hpp"
 #include "sparse/vec.hpp"
 
 namespace f3d::solver {
@@ -29,6 +30,12 @@ BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
 
   double rho_prev = 1, alpha = 1, omega = 1;
   while (res.iterations < opts.max_iters && rnorm > target) {
+    // Fault-injection site: forced rho collapse (breakdown) at the top of
+    // the iteration.
+    if (resilience::fault_fires(resilience::FaultSite::kBicgstab)) {
+      res.breakdown = true;
+      break;
+    }
     const double rho = sparse::dot(r0, r);
     ++res.counters.dots;
     if (std::abs(rho) < 1e-300) {

@@ -11,10 +11,11 @@ TwoLevelSchwarzPreconditioner::TwoLevelSchwarzPreconditioner(
       part_of_(partition.part),
       nparts_(partition.nparts),
       nb_(a.nb) {
-  build_coarse(a);
+  F3D_NUMERIC_CHECK_MSG(build_coarse(a),
+                        "singular coarse operator (check pseudo-time shift)");
 }
 
-void TwoLevelSchwarzPreconditioner::build_coarse(const sparse::Bcsr<double>& a) {
+bool TwoLevelSchwarzPreconditioner::build_coarse(const sparse::Bcsr<double>& a) {
   const int nc = coarse_dim();
   std::vector<double> a0(static_cast<std::size_t>(nc) * nc, 0.0);
   const std::size_t bsz = static_cast<std::size_t>(nb_) * nb_;
@@ -31,17 +32,33 @@ void TwoLevelSchwarzPreconditioner::build_coarse(const sparse::Bcsr<double>& a) 
               blk[static_cast<std::size_t>(c) * nb_ + d];
     }
   }
-  F3D_CHECK_MSG(coarse_lu_.factor(nc, a0.data()),
-                "singular coarse operator (check pseudo-time shift)");
+  return coarse_lu_.factor(nc, a0.data());
 }
 
 void TwoLevelSchwarzPreconditioner::refactor(const sparse::Bcsr<double>& a) {
   fine_.refactor(a);
-  build_coarse(a);
+  F3D_NUMERIC_CHECK_MSG(build_coarse(a),
+                        "singular coarse operator (check pseudo-time shift)");
+  coarse_ok_ = true;
+}
+
+bool TwoLevelSchwarzPreconditioner::refactor_checked(
+    const sparse::Bcsr<double>& a, double shift0, int max_attempts,
+    resilience::FactorReport* report) {
+  const bool fine_ok = fine_.refactor_checked(a, shift0, max_attempts, report);
+  coarse_ok_ = build_coarse(a);
+  if (!coarse_ok_ && report != nullptr) {
+    report->coarse_disabled = true;
+    if (!report->detail.empty()) report->detail += "; ";
+    report->detail += "singular coarse operator: correction disabled";
+  }
+  // A dead coarse space degrades convergence but not correctness.
+  return fine_ok;
 }
 
 void TwoLevelSchwarzPreconditioner::apply(const double* r, double* z) const {
   fine_.apply(r, z);
+  if (!coarse_ok_) return;
 
   // Coarse correction: z += R0^T A0^{-1} R0 r.
   const int nc = coarse_dim();

@@ -29,6 +29,18 @@ public:
   /// Rebuild both levels from new values on the same sparsity.
   void refactor(const sparse::Bcsr<double>& a) override;
 
+  /// Resilient refresh: the fine level climbs the Schwarz shift ladder; a
+  /// singular coarse operator disables the coarse correction for this
+  /// refresh (one-level Schwarz is still a valid preconditioner) instead
+  /// of aborting.
+  bool refactor_checked(const sparse::Bcsr<double>& a, double shift0,
+                        int max_attempts,
+                        resilience::FactorReport* report) override;
+
+  /// False while the coarse correction is disabled after a singular
+  /// coarse operator was seen on the resilient path.
+  [[nodiscard]] bool coarse_active() const { return coarse_ok_; }
+
   void apply(const double* r, double* z) const override;
   [[nodiscard]] int n() const override { return fine_.n(); }
   [[nodiscard]] std::string name() const override {
@@ -38,12 +50,13 @@ public:
   [[nodiscard]] int coarse_dim() const { return nparts_ * nb_; }
 
 private:
-  void build_coarse(const sparse::Bcsr<double>& a);
+  [[nodiscard]] bool build_coarse(const sparse::Bcsr<double>& a);
 
   SchwarzPreconditioner fine_;
   std::vector<int> part_of_;  ///< vertex -> subdomain
   int nparts_ = 0;
   int nb_ = 0;
+  bool coarse_ok_ = true;
   dense::DenseLu coarse_lu_;
 };
 

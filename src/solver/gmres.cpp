@@ -1,8 +1,11 @@
 #include "solver/gmres.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
+#include "resilience/faults.hpp"
 #include "sparse/vec.hpp"
 
 namespace f3d::solver {
@@ -44,6 +47,10 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
     ++ctr.prec_applies;
     a.apply(z.data(), w.data());
     ++ctr.matvecs;
+    // Fault-injection site: a wiped Krylov direction (forced breakdown /
+    // stagnation — the cycle ends with a zero Hessenberg column).
+    if (resilience::fault_fires(resilience::FaultSite::kGmres))
+      std::fill(w.begin(), w.end(), 0.0);
 
     h[j].assign(j + 2, 0.0);
     if (orth == Orthogonalization::kModifiedGramSchmidt) {
@@ -80,12 +87,16 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
     {
       const double denom = std::hypot(h[j][j], h[j][j + 1]);
       if (denom == 0) {
-        cs[j] = 1;
-        sn[j] = 0;
-      } else {
-        cs[j] = h[j][j] / denom;
-        sn[j] = h[j][j + 1] / denom;
+        // Dead direction: the rotated column vanished entirely (w was
+        // wiped — injected fault or exact breakdown with no component
+        // left). The residual recurrence would report a bogus 0; the
+        // direction contributed nothing, so keep the previous estimate
+        // and end the cycle — the outer loop's stagnation watchdog reacts.
+        ++j;
+        break;
       }
+      cs[j] = h[j][j] / denom;
+      sn[j] = h[j][j + 1] / denom;
       h[j][j] = cs[j] * h[j][j] + sn[j] * h[j][j + 1];
       h[j][j + 1] = 0;
       g[j + 1] = -sn[j] * g[j];
@@ -110,7 +121,9 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
     for (int i = k - 1; i >= 0; --i) {
       double s = g[i];
       for (int l = i + 1; l < k; ++l) s -= h[l][i] * y[l];
-      y[i] = s / h[i][i];
+      // A zero diagonal happens on (lucky or injected) breakdown: the
+      // direction contributed nothing — drop it instead of dividing by 0.
+      y[i] = h[i][i] != 0 ? s / h[i][i] : 0.0;
     }
     Vec u(n, 0.0);
     for (int i = 0; i < k; ++i) {
@@ -150,15 +163,34 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
       std::max(opts.atol, opts.rtol * res.initial_residual);
   resid = res.initial_residual;
 
+  int stagnant_cycles = 0;
   while (res.iterations < opts.max_iters && resid > target) {
+    const double resid_before = resid;
     const int room = std::min(opts.restart, opts.max_iters - res.iterations);
     const int done = gmres_cycle(a, m, b, x, room, target, &resid, opts.orth,
                                  res.counters);
     res.iterations += done;
     if (done == 0) break;  // stagnation or immediate convergence
+    // Stagnation watchdog: stop burning restarts that make no progress.
+    if (resid > target && resid >= opts.stagnation_factor * resid_before) {
+      if (++stagnant_cycles >= opts.max_stagnant_restarts) {
+        res.stagnated = true;
+        res.reason = "stagnation: " + std::to_string(stagnant_cycles) +
+                     " restart cycle(s) of m=" + std::to_string(opts.restart) +
+                     " made no progress (resid " + std::to_string(resid) + ")";
+        break;
+      }
+    } else {
+      stagnant_cycles = 0;
+    }
   }
   res.final_residual = resid;
   res.converged = resid <= target;
+  if (!res.converged && res.reason.empty())
+    res.reason = res.iterations >= opts.max_iters
+                     ? "max_iters (" + std::to_string(opts.max_iters) +
+                           ") exhausted"
+                     : "no progress in first cycle";
   return res;
 }
 

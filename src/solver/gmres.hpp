@@ -23,13 +23,23 @@ struct GmresOptions {
   int max_iters = 200;      ///< total Krylov iterations across restarts
   int restart = 20;         ///< Krylov subspace dimension
   Orthogonalization orth = Orthogonalization::kModifiedGramSchmidt;
+
+  // Stagnation watchdog: a restart cycle that fails to reduce the
+  // residual below stagnation_factor x (previous cycle's residual) counts
+  // as stagnant; after max_stagnant_restarts consecutive stagnant cycles
+  // the solve stops with converged=false and a reason string instead of
+  // silently burning the rest of max_iters.
+  double stagnation_factor = 0.9999;
+  int max_stagnant_restarts = 2;
 };
 
 struct GmresResult {
   bool converged = false;
+  bool stagnated = false;   ///< stopped by the stagnation watchdog
   int iterations = 0;
   double initial_residual = 0;
   double final_residual = 0;
+  std::string reason;       ///< empty on success; why the solve stopped
   SolveCounters counters;
 };
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "resilience/recovery.hpp"
 #include "sparse/csr.hpp"
 
 namespace f3d::solver {
@@ -31,6 +33,31 @@ public:
 class RefactorablePreconditioner : public Preconditioner {
 public:
   virtual void refactor(const sparse::Bcsr<double>& a) = 0;
+
+  /// Non-throwing refresh for the resilient solver path: a singular
+  /// factorization is answered with an escalating Manteuffel-style
+  /// diagonal shift (up to `max_attempts` rungs of x10 from `shift0`,
+  /// relative to the diagonal scale) instead of an abort. Returns false
+  /// only if even the ladder failed; `report` (optional) records what was
+  /// needed. The base implementation has no ladder — it simply downgrades
+  /// a NumericalError from refactor() to a status.
+  virtual bool refactor_checked(const sparse::Bcsr<double>& a, double shift0,
+                                int max_attempts,
+                                resilience::FactorReport* report) {
+    (void)shift0;
+    (void)max_attempts;
+    try {
+      refactor(a);
+    } catch (const NumericalError& e) {
+      if (report != nullptr) {
+        report->ok = false;
+        report->detail = e.what();
+      }
+      return false;
+    }
+    if (report != nullptr) *report = {};
+    return true;
+  }
 };
 
 /// Identity (no preconditioning).

@@ -5,13 +5,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "common/error.hpp"
+#include "resilience/checkpoint.hpp"
 #include "sparse/vec.hpp"
 
 namespace f3d::solver {
 
 namespace {
+
+using resilience::RecoveryAction;
 
 // Block-sparsity adjacency graph for the default partitioner.
 mesh::Graph graph_from_jacobian(const sparse::Bcsr<double>& a) {
@@ -20,6 +25,12 @@ mesh::Graph graph_from_jacobian(const sparse::Bcsr<double>& a) {
     for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p)
       if (a.col[p] > i) edges.push_back({i, a.col[p]});
   return mesh::build_graph(a.nrows, edges);
+}
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
 }
 
 }  // namespace
@@ -32,17 +43,98 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
   F3D_CHECK(static_cast<int>(x.size()) == n);
   F3D_CHECK(opts.num_subdomains >= 1);
 
+  const PtcRecoveryOptions& rec = opts.recovery;
+  const bool resilient = rec.enabled;
+  // Register the fault injector for the duration of the solve so the
+  // instrumented sites deep in the stack (ILU factorization, Krylov inner
+  // loops) see it without threading it through every signature.
+  resilience::InjectorScope injector_scope(opts.fault_injector);
+
   PtcResult result;
   std::vector<double> r(n), g0(n), rhs(n), dx(n), scale(nv), work(n), xw(n);
 
-  {
-    PhaseTimers::Scope scope(result.phases, "flux");
-    problem.residual(x, r);
+  // Ladder state that survives across steps.
+  double cfl_relax = 1.0;  ///< CFL backtrack multiplier (1 = no backtrack)
+  bool force_refresh = false;
+  GmresOptions gmres_active = opts.gmres;
+  PtcOptions::Krylov krylov_active = opts.krylov;
+  int cur_step = 0;
+  bool nan_seen = false;
+
+  // Residual evaluation wrapper: all driver-side residual calls funnel
+  // through here — it times into "flux", counts, hosts the NaN/Inf
+  // fault-injection site, and detects non-finite output. The plain path
+  // aborts on corruption exactly where it happens; the resilient path
+  // records it and lets the step-rejection ladder handle it.
+  auto eval_residual = [&](const std::vector<double>& xx,
+                           std::vector<double>& rr, const char* what) {
+    {
+      PhaseTimers::Scope scope(result.phases, "flux");
+      problem.residual(xx, rr);
+    }
+    ++result.function_evaluations;
+    if (resilience::fault_fires(resilience::FaultSite::kResidual)) {
+      const auto* inj = resilience::active_injector();
+      rr[0] = (inj->fires(resilience::FaultSite::kResidual) % 2 == 0)
+                  ? std::numeric_limits<double>::infinity()
+                  : std::numeric_limits<double>::quiet_NaN();
+    }
+    const bool finite = all_finite(rr);
+    if (!finite) {
+      nan_seen = true;
+      if (resilient)
+        result.recovery_log.add(cur_step, RecoveryAction::kDetectNanResidual,
+                                what);
+      else
+        F3D_NUMERIC_CHECK_MSG(finite, std::string("non-finite residual (") +
+                                          what + ")");
+    }
+    return finite;
+  };
+
+  // --- checkpoint restore -------------------------------------------------
+  int start_step = 0;
+  double rnorm = 0, r0 = 1.0;
+  bool restored = false;
+  if (resilient && rec.resume && !rec.checkpoint_path.empty()) {
+    if (auto ck = resilience::load_checkpoint(rec.checkpoint_path)) {
+      F3D_CHECK_MSG(static_cast<int>(ck->x.size()) == n,
+                    "checkpoint state size mismatch");
+      x = ck->x;
+      start_step = static_cast<int>(ck->step);
+      rnorm = ck->rnorm;
+      r0 = ck->r0;
+      cfl_relax = ck->cfl_relax;
+      result.steps = static_cast<int>(ck->steps_done);
+      result.function_evaluations = ck->function_evaluations;
+      result.total_linear_iterations = ck->total_linear_iterations;
+      if (ck->gmres_restart > 0) gmres_active.restart = ck->gmres_restart;
+      krylov_active = static_cast<PtcOptions::Krylov>(ck->krylov);
+      result.recovery_log = ck->log;
+      if (ck->has_injector && opts.fault_injector != nullptr)
+        opts.fault_injector->restore(ck->injector);
+      result.resumed = true;
+      result.resume_step = start_step;
+      result.initial_residual = r0;
+      result.recovery_log.add(start_step, RecoveryAction::kResume,
+                              "restored from " + rec.checkpoint_path);
+      restored = true;
+    }
   }
-  ++result.function_evaluations;
-  double rnorm = sparse::norm2(r);
-  result.initial_residual = rnorm;
-  const double r0 = rnorm > 0 ? rnorm : 1.0;
+  if (!restored) {
+    // The initial evaluation may itself be hit by a (transient) injected
+    // fault; re-evaluating is the only recovery available before any step
+    // state exists.
+    for (int attempt = 0;; ++attempt) {
+      nan_seen = false;
+      eval_residual(x, r, "initial residual");
+      if (!nan_seen) break;
+      F3D_NUMERIC_CHECK_MSG(attempt < 3, "non-finite initial residual");
+    }
+    rnorm = sparse::norm2(r);
+    result.initial_residual = rnorm;
+    r0 = rnorm > 0 ? rnorm : 1.0;
+  }
 
   // Jacobian + Schwarz preconditioner built lazily on the first step.
   sparse::Bcsr<double> jac = problem.allocate_jacobian();
@@ -53,165 +145,330 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
   }
   F3D_CHECK(partition.nparts == opts.num_subdomains);
 
-  for (int step = 0; step < opts.max_steps && rnorm / r0 > opts.rtol; ++step) {
+  auto make_preconditioner = [&]() -> std::unique_ptr<RefactorablePreconditioner> {
+    if (opts.use_coarse_space)
+      return std::make_unique<TwoLevelSchwarzPreconditioner>(jac, partition,
+                                                             opts.schwarz);
+    return std::make_unique<SchwarzPreconditioner>(jac, partition, opts.schwarz);
+  };
+
+  for (int step = start_step; step < opts.max_steps && rnorm / r0 > opts.rtol;
+       ++step) {
+    cur_step = step;
     problem.on_step(step, rnorm / r0);
-    // Order switching etc. may change the residual; re-evaluate lazily is
-    // unnecessary — the SER law below uses the previous norm as intended.
 
-    // SER continuation.
-    const double cfl = std::min(
-        opts.cfl_max, opts.cfl0 * std::pow(r0 / rnorm, opts.ser_exponent));
+    // Rollback state for the recovery ladder: a rejected attempt restores
+    // the step-entry iterate exactly.
+    const std::vector<double> x_step = x;
+    const double rnorm_step = rnorm;
 
-    // D = diag over vertices of V_i / dt_i; with dt_i = cfl * V_i / sr_i
-    // this is sr_i / cfl = V_i / (cfl * scale_i).
-    problem.timestep_scale(x, scale);
-    ++result.function_evaluations;  // spectral radius pass ~ a flux pass
-    std::vector<double> vols;
-    problem.cell_volumes(vols);
-    std::vector<double> diag(nv);
-    for (int v = 0; v < nv; ++v) {
-      F3D_CHECK(scale[v] > 0 && vols[v] > 0);
-      diag[v] = vols[v] / (cfl * scale[v]);
-    }
+    PtcStepRecord rec_step;
+    rec_step.step = step;
 
-    PtcStepRecord rec;
-    rec.step = step;
-    rec.cfl = cfl;
+    // One attempt at this pseudo-timestep with the given CFL. Returns
+    // false only on a detected numerical failure (resilient mode; the
+    // plain path throws at the point of detection instead). On success x
+    // and rnorm are committed.
+    auto attempt_step = [&](double cfl) -> bool {
+      // D = diag over vertices of V_i / dt_i; with dt_i = cfl * V_i / sr_i
+      // this is sr_i / cfl = V_i / (cfl * scale_i).
+      problem.timestep_scale(x, scale);
+      ++result.function_evaluations;  // spectral radius pass ~ a flux pass
+      std::vector<double> vols;
+      problem.cell_volumes(vols);
+      std::vector<double> diag(nv);
+      for (int v = 0; v < nv; ++v) {
+        F3D_CHECK(scale[v] > 0 && vols[v] > 0);
+        diag[v] = vols[v] / (cfl * scale[v]);
+      }
 
-    for (int newton = 0; newton < opts.newton_per_step; ++newton) {
-      // g(x) = r(x) + D (x - x_step_start); at the first Newton iterate
-      // the pseudo-time term vanishes, so g(x) = r(x).
-      problem.residual(x, g0);
-      ++result.function_evaluations;
-      // (x - x_l) term is zero at newton == 0 and we take a single Newton
-      // step per pseudo-timestep in the usual configuration; for
-      // newton > 0 we keep the implicit Euler target fixed at x_l.
-      static_cast<void>(0);
+      for (int newton = 0; newton < opts.newton_per_step; ++newton) {
+        // g(x) = r(x) + D (x - x_step_start); at the first Newton iterate
+        // the pseudo-time term vanishes, so g(x) = r(x).
+        if (!eval_residual(x, g0, "newton rhs")) return false;
 
-      // Build / refresh the preconditioner from the analytic first-order
-      // Jacobian plus the pseudo-time diagonal.
-      if (!prec || (step % std::max(1, opts.jacobian_refresh)) == 0) {
-        {
-          PhaseTimers::Scope scope(result.phases, "jacobian");
-          problem.jacobian(x, jac);
-        }
-        const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
-        for (int v = 0; v < nv; ++v) {
-          double* blk = jac.find_block(v, v);
-          F3D_CHECK(blk != nullptr);
-          for (int c = 0; c < nb; ++c) blk[c * nb + c] += diag[v];
-        }
-        PhaseTimers::Scope scope(result.phases, "factor");
-        if (!prec) {
-          if (opts.use_coarse_space) {
-            prec = std::make_unique<TwoLevelSchwarzPreconditioner>(
-                jac, partition, opts.schwarz);
+        // Build / refresh the preconditioner from the analytic first-order
+        // Jacobian plus the pseudo-time diagonal.
+        if (!prec || force_refresh ||
+            (step % std::max(1, opts.jacobian_refresh)) == 0) {
+          {
+            PhaseTimers::Scope scope(result.phases, "jacobian");
+            problem.jacobian(x, jac);
+          }
+          for (int v = 0; v < nv; ++v) {
+            double* blk = jac.find_block(v, v);
+            F3D_CHECK(blk != nullptr);
+            for (int c = 0; c < nb; ++c) blk[c * nb + c] += diag[v];
+          }
+          PhaseTimers::Scope scope(result.phases, "factor");
+          if (!prec) {
+            if (resilient) {
+              try {
+                prec = make_preconditioner();
+              } catch (const NumericalError& e) {
+                result.recovery_log.add(
+                    step, RecoveryAction::kDetectSingularFactor, e.what());
+                prec.reset();
+                return false;
+              }
+            } else {
+              prec = make_preconditioner();
+            }
+          } else if (resilient) {
+            resilience::FactorReport report;
+            const bool ok = prec->refactor_checked(
+                jac, rec.pivot_shift0, rec.pivot_shift_attempts, &report);
+            if (report.shift_attempts > 0) {
+              result.recovery_log.add(step,
+                                      RecoveryAction::kDetectSingularFactor,
+                                      "zero pivot in preconditioner refresh");
+              char shift_buf[32];
+              std::snprintf(shift_buf, sizeof shift_buf, "%.3g",
+                            report.shift_used);
+              result.recovery_log.add(
+                  step, RecoveryAction::kPivotShift,
+                  "shift=" + std::string(shift_buf) + " after " +
+                      std::to_string(report.shift_attempts) + " rung(s)");
+            }
+            if (report.coarse_disabled)
+              result.recovery_log.add(step, RecoveryAction::kCoarseDisabled,
+                                      report.detail);
+            if (!ok) {
+              result.recovery_log.add(
+                  step, RecoveryAction::kDetectSingularFactor,
+                  "shift ladder exhausted: " + report.detail);
+              return false;
+            }
           } else {
-            prec = std::make_unique<SchwarzPreconditioner>(jac, partition,
-                                                           opts.schwarz);
+            prec->refactor(jac);
           }
-        } else {
-          prec->refactor(jac);
+          force_refresh = false;
         }
-        (void)bsz;
-      }
 
-      // Matrix-free action of J_g = dr/dx + D via finite differences,
-      // or the assembled first-order Jacobian when matrix_free is off.
-      const double xnorm = sparse::norm2(x);
-      LinearOperator op;
-      op.n = n;
-      if (!opts.matrix_free) {
-        // jac already carries the pseudo-time diagonal from the refresh.
-        op.apply = [&jac](const double* v, double* y) { jac.spmv(v, y); };
-      } else
-      op.apply = [&](const double* v, double* y) {
-        double vnorm = 0;
-        for (int i = 0; i < n; ++i) vnorm += v[i] * v[i];
-        vnorm = std::sqrt(vnorm);
-        if (vnorm == 0) {
-          std::fill(y, y + n, 0.0);
-          return;
-        }
-        const double eps = opts.fd_eps * (1.0 + xnorm) / vnorm;
-        for (int i = 0; i < n; ++i) xw[i] = x[i] + eps * v[i];
-        {
-          PhaseTimers::Scope scope(result.phases, "flux");
-          problem.residual(xw, work);
-        }
-        ++result.function_evaluations;
-        for (int i = 0; i < n; ++i) y[i] = (work[i] - g0[i]) / eps;
-        // Pseudo-time diagonal term.
-        for (int vtx = 0; vtx < nv; ++vtx)
-          for (int c = 0; c < nb; ++c)
-            y[static_cast<std::size_t>(vtx) * nb + c] +=
-                diag[vtx] * v[static_cast<std::size_t>(vtx) * nb + c];
-      };
-
-      // Solve J dx = -g. (Residual calls inside the operator are timed
-      // into "flux"; everything else lands in "krylov".)
-      Timer krylov_timer;
-      for (int i = 0; i < n; ++i) rhs[i] = -g0[i];
-      std::fill(dx.begin(), dx.end(), 0.0);
-      if (opts.krylov == PtcOptions::Krylov::kBicgstab) {
-        BicgstabOptions bo;
-        bo.rtol = opts.gmres.rtol;
-        bo.max_iters = opts.gmres.max_iters;
-        auto bres = bicgstab(op, *prec, rhs, dx, bo);
-        rec.linear_iterations += bres.iterations;
-        rec.linear_converged = bres.converged;
-        result.total_linear_iterations += bres.iterations;
-        result.counters += bres.counters;
-      } else {
-        auto gres = gmres(op, *prec, rhs, dx, opts.gmres);
-        rec.linear_iterations += gres.iterations;
-        rec.linear_converged = gres.converged;
-        result.total_linear_iterations += gres.iterations;
-        result.counters += gres.counters;
-      }
-      result.phases.add("krylov", krylov_timer.seconds());
-
-      // Backtracking line search on ||g|| (globalization; §2.4's "line
-      // search" knob). g at trial x' uses the same pseudo-time anchor.
-      double lambda = 1.0;
-      const double gnorm0 = sparse::norm2(g0);
-      bool accepted = false;
-      for (int ls = 0; ls <= opts.max_line_search; ++ls) {
-        for (int i = 0; i < n; ++i) xw[i] = x[i] + lambda * dx[i];
-        {
-          PhaseTimers::Scope scope(result.phases, "flux");
-          problem.residual(xw, work);
-        }
-        ++result.function_evaluations;
-        for (int vtx = 0; vtx < nv; ++vtx)
-          for (int c = 0; c < nb; ++c) {
-            const std::size_t k = static_cast<std::size_t>(vtx) * nb + c;
-            work[k] += diag[vtx] * (xw[k] - x[k]);
+        // Matrix-free action of J_g = dr/dx + D via finite differences,
+        // or the assembled first-order Jacobian when matrix_free is off.
+        const double xnorm = sparse::norm2(x);
+        LinearOperator op;
+        op.n = n;
+        if (!opts.matrix_free) {
+          // jac already carries the pseudo-time diagonal from the refresh.
+          op.apply = [&jac](const double* v, double* y) { jac.spmv(v, y); };
+        } else
+        op.apply = [&](const double* v, double* y) {
+          double vnorm = 0;
+          for (int i = 0; i < n; ++i) vnorm += v[i] * v[i];
+          vnorm = std::sqrt(vnorm);
+          if (vnorm == 0) {
+            std::fill(y, y + n, 0.0);
+            return;
           }
-        const double gnorm = sparse::norm2(work);
-        if (gnorm <= (1.0 - 1e-4 * lambda) * gnorm0 ||
-            ls == opts.max_line_search) {
-          accepted = gnorm < gnorm0 || ls < opts.max_line_search;
-          x = xw;
-          rec.line_search_lambda = lambda;
+          const double eps = opts.fd_eps * (1.0 + xnorm) / vnorm;
+          for (int i = 0; i < n; ++i) xw[i] = x[i] + eps * v[i];
+          if (!eval_residual(xw, work, "matrix-free action")) {
+            // Corrupted evaluation: return a null action; the Krylov solve
+            // is already doomed (nan_seen fails the attempt) — keep its
+            // arithmetic finite on the way down.
+            std::fill(y, y + n, 0.0);
+            return;
+          }
+          for (int i = 0; i < n; ++i) y[i] = (work[i] - g0[i]) / eps;
+          // Pseudo-time diagonal term.
+          for (int vtx = 0; vtx < nv; ++vtx)
+            for (int c = 0; c < nb; ++c)
+              y[static_cast<std::size_t>(vtx) * nb + c] +=
+                  diag[vtx] * v[static_cast<std::size_t>(vtx) * nb + c];
+        };
+
+        // Solve J dx = -g, escalating through the Krylov recovery ladder:
+        // BiCGStab breakdown -> swap to GMRES; GMRES stagnation -> grow the
+        // restart length. (Residual calls inside the operator are timed
+        // into "flux"; everything else lands in "krylov".)
+        Timer krylov_timer;
+        for (int i = 0; i < n; ++i) rhs[i] = -g0[i];
+        std::fill(dx.begin(), dx.end(), 0.0);
+        int lin_retries = 0;
+        bool swapped_this_solve = false;
+        for (;;) {
+          if (krylov_active == PtcOptions::Krylov::kBicgstab) {
+            BicgstabOptions bo;
+            bo.rtol = gmres_active.rtol;
+            bo.max_iters = gmres_active.max_iters;
+            auto bres = bicgstab(op, *prec, rhs, dx, bo);
+            rec_step.linear_iterations += bres.iterations;
+            rec_step.linear_converged = bres.converged;
+            result.total_linear_iterations += bres.iterations;
+            result.counters += bres.counters;
+            if (bres.breakdown) {
+              rec_step.linear_breakdown = true;
+              ++result.krylov_breakdowns;
+              if (resilient) {
+                result.recovery_log.add(step, RecoveryAction::kDetectBreakdown,
+                                        "BiCGStab rho/omega collapse");
+                if (rec.allow_krylov_swap && !swapped_this_solve) {
+                  swapped_this_solve = true;
+                  krylov_active = PtcOptions::Krylov::kGmres;
+                  result.recovery_log.add(
+                      step, RecoveryAction::kKrylovSwap,
+                      "BiCGStab -> GMRES(m=" +
+                          std::to_string(gmres_active.restart) + ")");
+                  std::fill(dx.begin(), dx.end(), 0.0);
+                  continue;
+                }
+              }
+            }
+          } else {
+            auto gres = gmres(op, *prec, rhs, dx, gmres_active);
+            rec_step.linear_iterations += gres.iterations;
+            rec_step.linear_converged = gres.converged;
+            result.total_linear_iterations += gres.iterations;
+            result.counters += gres.counters;
+            if (gres.stagnated) {
+              rec_step.linear_stagnated = true;
+              if (resilient) {
+                result.recovery_log.add(step, RecoveryAction::kDetectStagnation,
+                                        gres.reason);
+                if (gmres_active.restart < rec.gmres_restart_max &&
+                    lin_retries < rec.max_linear_retries) {
+                  gmres_active.restart =
+                      std::min(rec.gmres_restart_max, gmres_active.restart * 2);
+                  gmres_active.max_iters =
+                      std::max(gmres_active.max_iters, gmres_active.restart);
+                  result.recovery_log.add(
+                      step, RecoveryAction::kRestartEscalation,
+                      "restart -> " + std::to_string(gmres_active.restart));
+                  std::fill(dx.begin(), dx.end(), 0.0);
+                  ++lin_retries;
+                  continue;
+                }
+                // Escalation exhausted: last rung is a method swap — a
+                // persistently poisoned GMRES (e.g. an injected fault in
+                // the Arnoldi process) is unrecoverable from inside GMRES.
+                if (rec.allow_krylov_swap && !swapped_this_solve) {
+                  swapped_this_solve = true;
+                  krylov_active = PtcOptions::Krylov::kBicgstab;
+                  result.recovery_log.add(step, RecoveryAction::kKrylovSwap,
+                                          "GMRES -> BiCGStab");
+                  std::fill(dx.begin(), dx.end(), 0.0);
+                  continue;
+                }
+              }
+            }
+          }
           break;
         }
-        lambda *= 0.5;
+        result.phases.add("krylov", krylov_timer.seconds());
+        if (nan_seen) return false;
+        if (resilient && !all_finite(dx)) {
+          result.recovery_log.add(step, RecoveryAction::kDetectDivergence,
+                                  "non-finite Newton correction");
+          return false;
+        }
+
+        // Backtracking line search on ||g|| (globalization; §2.4's "line
+        // search" knob). g at trial x' uses the same pseudo-time anchor.
+        double lambda = 1.0;
+        const double gnorm0 = sparse::norm2(g0);
+        for (int ls = 0; ls <= opts.max_line_search; ++ls) {
+          for (int i = 0; i < n; ++i) xw[i] = x[i] + lambda * dx[i];
+          eval_residual(xw, work, "line search");
+          for (int vtx = 0; vtx < nv; ++vtx)
+            for (int c = 0; c < nb; ++c) {
+              const std::size_t k = static_cast<std::size_t>(vtx) * nb + c;
+              work[k] += diag[vtx] * (xw[k] - x[k]);
+            }
+          const double gnorm = sparse::norm2(work);
+          if (gnorm <= (1.0 - 1e-4 * lambda) * gnorm0 ||
+              ls == opts.max_line_search) {
+            x = xw;
+            rec_step.line_search_lambda = lambda;
+            break;
+          }
+          lambda *= 0.5;
+        }
+        if (nan_seen) return false;
       }
-      (void)accepted;
+
+      if (!eval_residual(x, r, "step residual")) return false;
+      const double rnorm_new = sparse::norm2(r);
+      if (!std::isfinite(rnorm_new)) {
+        F3D_NUMERIC_CHECK_MSG(resilient, "psi-NKS diverged (NaN residual)");
+        result.recovery_log.add(step, RecoveryAction::kDetectNanResidual,
+                                "non-finite step residual norm");
+        return false;
+      }
+      if (resilient && rnorm_new > rec.divergence_factor * rnorm_step) {
+        result.recovery_log.add(
+            step, RecoveryAction::kDetectDivergence,
+            "||r|| grew " + std::to_string(rnorm_new / rnorm_step) + "x");
+        return false;
+      }
+      rnorm = rnorm_new;
+      return true;
+    };
+
+    for (int attempt = 0;; ++attempt) {
+      nan_seen = false;
+      // SER continuation, scaled by the ladder's backtrack multiplier.
+      const double cfl =
+          std::min(opts.cfl_max, opts.cfl0 *
+                                     std::pow(r0 / rnorm, opts.ser_exponent) *
+                                     cfl_relax);
+      rec_step.cfl = cfl;
+      if (attempt_step(cfl)) break;
+
+      // Plain path only reaches a false return through states it used to
+      // tolerate silently; keep the historical abort semantics.
+      F3D_NUMERIC_CHECK_MSG(resilient, "psi-NKS diverged (NaN residual)");
+
+      // Reject: roll back, shrink the pseudo-timestep, rebuild the
+      // preconditioner at the new state.
+      ++result.steps_rejected;
+      ++rec_step.rejections;
+      x = x_step;
+      rnorm = rnorm_step;
+      result.recovery_log.add(step, RecoveryAction::kStepRejected,
+                              "attempt " + std::to_string(attempt + 1));
+      F3D_NUMERIC_CHECK_MSG(
+          attempt + 1 < rec.max_step_retries,
+          "recovery ladder exhausted at step " + std::to_string(step));
+      cfl_relax *= rec.cfl_backtrack;
+      result.recovery_log.add(step, RecoveryAction::kCflBacktrack,
+                              "cfl_relax=" + std::to_string(cfl_relax));
+      force_refresh = true;
+      result.recovery_log.add(step, RecoveryAction::kPrecRefresh,
+                              "forced by step rejection");
     }
 
-    {
-      PhaseTimers::Scope scope(result.phases, "flux");
-      problem.residual(x, r);
-    }
-    ++result.function_evaluations;
-    rnorm = sparse::norm2(r);
-    rec.residual = rnorm;
-    result.history.push_back(rec);
+    rec_step.residual = rnorm;
+    result.history.push_back(rec_step);
     ++result.steps;
+    // Let the CFL relaxation recover toward 1 after accepted steps.
+    if (resilient && cfl_relax < 1.0)
+      cfl_relax = std::min(1.0, cfl_relax * rec.cfl_regrow);
 
-    F3D_CHECK_MSG(std::isfinite(rnorm), "psi-NKS diverged (NaN residual)");
+    // Periodic checkpoint of the committed state.
+    if (resilient && rec.checkpoint_every > 0 && !rec.checkpoint_path.empty() &&
+        result.steps % rec.checkpoint_every == 0) {
+      resilience::PtcCheckpoint ck;
+      ck.step = step + 1;
+      ck.steps_done = result.steps;
+      ck.x = x;
+      ck.rnorm = rnorm;
+      ck.r0 = r0;
+      ck.cfl_relax = cfl_relax;
+      ck.function_evaluations = result.function_evaluations;
+      ck.total_linear_iterations = result.total_linear_iterations;
+      ck.gmres_restart = gmres_active.restart;
+      ck.krylov = static_cast<std::int32_t>(krylov_active);
+      if (opts.fault_injector != nullptr) {
+        ck.has_injector = true;
+        ck.injector = opts.fault_injector->state();
+      }
+      ck.log = result.recovery_log;
+      if (resilience::save_checkpoint(rec.checkpoint_path, ck))
+        result.recovery_log.add(step, RecoveryAction::kCheckpointWrite,
+                                rec.checkpoint_path);
+    }
   }
 
   result.final_residual = rnorm;

@@ -13,11 +13,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/timer.hpp"
 
 #include "partition/partition.hpp"
+#include "resilience/faults.hpp"
+#include "resilience/recovery.hpp"
 #include "solver/gmres.hpp"
 #include "solver/precond.hpp"
 #include "sparse/csr.hpp"
@@ -60,6 +63,42 @@ public:
   }
 };
 
+/// Knobs of the ψNKS breakdown recovery ladder (§2.4's safeguards, made
+/// explicit). With `enabled == false` every numerical failure aborts via
+/// an exception exactly as the plain driver always did; with it on, the
+/// driver detects, recovers, logs, and keeps going:
+///   NaN/diverged residual  -> reject the step, backtrack CFL, refresh prec
+///   Krylov breakdown       -> swap BiCGStab -> GMRES
+///   GMRES stagnation       -> escalate the restart length; if escalation
+///                             is exhausted, swap GMRES -> BiCGStab
+///   zero pivot             -> escalating diagonal shift in the refactor
+struct PtcRecoveryOptions {
+  bool enabled = false;
+
+  // Step rejection.
+  int max_step_retries = 6;       ///< attempts per pseudo-timestep
+  double cfl_backtrack = 0.25;    ///< CFL multiplier on a rejected step
+  double cfl_regrow = 2.0;        ///< relaxation recovery per accepted step
+  double divergence_factor = 1e3; ///< reject if ||r|| grows past this factor
+
+  // Zero-pivot shift ladder (Manteuffel-style, relative to diag scale).
+  double pivot_shift0 = 1e-8;
+  int pivot_shift_attempts = 8;   ///< x10 escalation per rung
+
+  // Krylov escalation. A breakdown swaps BiCGStab -> GMRES; stagnation
+  // first escalates the GMRES restart length, then (once per solve) swaps
+  // GMRES -> BiCGStab. The swapped-to method stays active for the rest of
+  // the run.
+  bool allow_krylov_swap = true;
+  int gmres_restart_max = 120;    ///< cap for restart-length escalation
+  int max_linear_retries = 2;     ///< escalating re-solves of one system
+
+  // Checkpoint/restart (see resilience/checkpoint.hpp).
+  std::string checkpoint_path;    ///< empty = no checkpointing
+  int checkpoint_every = 0;       ///< write every k accepted steps (0 = off)
+  bool resume = false;            ///< restore from checkpoint_path if present
+};
+
 struct PtcOptions {
   // Continuation (§2.4.1).
   double cfl0 = 10.0;      ///< initial CFL number
@@ -100,6 +139,14 @@ struct PtcOptions {
 
   /// Backtracking line search steps (0 = plain Newton).
   int max_line_search = 3;
+
+  /// Breakdown recovery ladder + checkpoint/restart (off by default: the
+  /// plain path aborts on numerical failure exactly as before).
+  PtcRecoveryOptions recovery;
+
+  /// Optional fault injector, registered process-wide for the duration of
+  /// the solve (resilience test campaigns; see resilience/faults.hpp).
+  resilience::FaultInjector* fault_injector = nullptr;
 };
 
 struct PtcStepRecord {
@@ -108,6 +155,9 @@ struct PtcStepRecord {
   double cfl = 0;
   int linear_iterations = 0;
   bool linear_converged = false;
+  bool linear_breakdown = false;  ///< BiCGStab flagged rho/omega collapse
+  bool linear_stagnated = false;  ///< GMRES stagnation watchdog fired
+  int rejections = 0;             ///< attempts rolled back before acceptance
   double line_search_lambda = 1.0;
 };
 
@@ -120,6 +170,13 @@ struct PtcResult {
   double final_residual = 0;
   std::vector<PtcStepRecord> history;
   SolveCounters counters;
+
+  // Resilience bookkeeping.
+  resilience::RecoveryLog recovery_log;  ///< every detection/recovery action
+  int steps_rejected = 0;     ///< step attempts rolled back
+  int krylov_breakdowns = 0;  ///< breakdowns reported by the inner solver
+  bool resumed = false;       ///< state was restored from a checkpoint
+  int resume_step = 0;        ///< first step executed after the restore
   /// Real wall-clock per phase: "flux" (residual evaluations, including
   /// matrix-free actions and line search), "jacobian" (analytic assembly),
   /// "factor" (preconditioner refactorization), "krylov" (solver

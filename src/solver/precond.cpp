@@ -1,9 +1,12 @@
 #include "solver/precond.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "common/densemat.hpp"
 #include "common/error.hpp"
+#include "resilience/faults.hpp"
 
 namespace f3d::solver {
 
@@ -95,9 +98,17 @@ void SchwarzPreconditioner::extract_local_values(const sparse::Bcsr<double>& a,
     }
     F3D_CHECK(q == sd.local.ptr[k + 1]);
   }
+  // Fault-injection site: a corrupted Jacobian block arriving at the
+  // factorization (forced zero pivot). One opportunity per subdomain
+  // extraction, shared by the plain and resilient refresh paths.
+  if (resilience::fault_fires(resilience::FaultSite::kFactorPivot)) {
+    double* blk = sd.local.find_block(0, 0);
+    if (blk != nullptr)
+      std::fill_n(blk, static_cast<std::size_t>(nb_) * nb_, 0.0);
+  }
 }
 
-void SchwarzPreconditioner::factor(Subdomain& sd) {
+bool SchwarzPreconditioner::factor_checked(Subdomain& sd, std::string* err) {
   if (opts_.subdomain_solver == SubdomainSolver::kSsor) {
     // SSOR only needs the factored diagonal blocks.
     const std::size_t bsz = static_cast<std::size_t>(nb_) * nb_;
@@ -109,18 +120,45 @@ void SchwarzPreconditioner::factor(Subdomain& sd) {
       std::copy_n(blk, bsz, &sd.diag_lu[static_cast<std::size_t>(k) * bsz]);
       const bool ok =
           dense::lu_factor(nb_, &sd.diag_lu[static_cast<std::size_t>(k) * bsz]);
-      F3D_CHECK_MSG(ok, "singular diagonal block in SSOR");
+      if (!ok) {
+        if (err != nullptr)
+          *err = "singular diagonal block in SSOR at local row " +
+                 std::to_string(k);
+        return false;
+      }
     }
     sd.ilu_d = {};
     sd.ilu_f = {};
-    return;
+    return true;
   }
+  sparse::IluFactorStatus status;
   if (opts_.single_precision) {
-    sd.ilu_f = sparse::ilu_factor_block<float>(sd.local, sd.pattern);
+    sd.ilu_f = sparse::ilu_factor_block<float>(sd.local, sd.pattern, &status);
     sd.ilu_d = {};
   } else {
-    sd.ilu_d = sparse::ilu_factor_block<double>(sd.local, sd.pattern);
+    sd.ilu_d = sparse::ilu_factor_block<double>(sd.local, sd.pattern, &status);
     sd.ilu_f = {};
+  }
+  if (!status.ok && err != nullptr)
+    *err = "singular diagonal block in block ILU at local row " +
+           std::to_string(status.bad_row);
+  return status.ok;
+}
+
+void SchwarzPreconditioner::factor(Subdomain& sd) {
+  std::string err;
+  const bool ok = factor_checked(sd, &err);
+  F3D_NUMERIC_CHECK_MSG(ok, err);
+}
+
+void SchwarzPreconditioner::shift_local_diagonal(Subdomain& sd, int nb,
+                                                 double delta) {
+  const int nl = static_cast<int>(sd.vertices.size());
+  for (int k = 0; k < nl; ++k) {
+    double* blk = sd.local.find_block(k, k);
+    if (blk == nullptr) continue;
+    for (int c = 0; c < nb; ++c)
+      blk[static_cast<std::size_t>(c) * nb + c] += delta;
   }
 }
 
@@ -160,6 +198,55 @@ void SchwarzPreconditioner::refactor(const sparse::Bcsr<double>& a) {
     extract_local_values(a, sd);
     factor(sd);
   }
+}
+
+bool SchwarzPreconditioner::refactor_checked(const sparse::Bcsr<double>& a,
+                                             double shift0, int max_attempts,
+                                             resilience::FactorReport* report) {
+  F3D_CHECK(a.scalar_n() == n_ && a.nb == nb_);
+  if (shift0 <= 0) shift0 = 1e-8;
+  if (max_attempts < 1) max_attempts = 1;
+  bool all_ok = true;
+  for (auto& sd : subs_) {
+    extract_local_values(a, sd);
+    std::string err;
+    if (factor_checked(sd, &err)) continue;
+
+    // Diagonal scale of the failing subdomain, so the shift is relative.
+    double scale = 0;
+    const int nl = static_cast<int>(sd.vertices.size());
+    for (int k = 0; k < nl; ++k) {
+      const double* blk = sd.local.find_block(k, k);
+      if (blk == nullptr) continue;
+      for (int c = 0; c < nb_; ++c)
+        scale = std::max(scale,
+                         std::abs(blk[static_cast<std::size_t>(c) * nb_ + c]));
+    }
+    if (scale == 0 || !std::isfinite(scale)) scale = 1.0;
+
+    bool ok = false;
+    double applied = 0;
+    double shift = shift0;
+    for (int attempt = 0; attempt < max_attempts; ++attempt, shift *= 10) {
+      const double target = shift * scale;
+      shift_local_diagonal(sd, nb_, target - applied);
+      applied = target;
+      if (report != nullptr) {
+        ++report->shift_attempts;
+        report->shift_used = std::max(report->shift_used, target);
+      }
+      if (factor_checked(sd, &err)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      all_ok = false;
+      if (report != nullptr) report->detail = err;
+    }
+  }
+  if (report != nullptr) report->ok = all_ok;
+  return all_ok;
 }
 
 void SchwarzPreconditioner::apply(const double* r, double* z) const {

@@ -55,8 +55,18 @@ public:
                         const SchwarzOptions& opts);
 
   /// Re-extract subdomain values from a new `a` with the same sparsity and
-  /// refactor (Jacobian refresh between Newton steps).
+  /// refactor (Jacobian refresh between Newton steps). Throws
+  /// f3d::NumericalError on a singular subdomain factorization.
   void refactor(const sparse::Bcsr<double>& a) override;
+
+  /// Resilient refresh: a zero pivot / singular block is retried with an
+  /// escalating diagonal shift delta*I (delta = shift0 * diag scale, x10
+  /// per rung, `max_attempts` rungs) on the failing subdomain's local
+  /// matrix — the factorization then succeeds on a slightly perturbed
+  /// operator, degrading preconditioner quality instead of aborting.
+  bool refactor_checked(const sparse::Bcsr<double>& a, double shift0,
+                        int max_attempts,
+                        resilience::FactorReport* report) override;
 
   void apply(const double* r, double* z) const override;
   [[nodiscard]] int n() const override { return n_; }
@@ -85,6 +95,11 @@ private:
 
   void extract_local_values(const sparse::Bcsr<double>& a, Subdomain& sd) const;
   void factor(Subdomain& sd);
+  /// Non-throwing numeric factorization; `err` gets the failure reason.
+  bool factor_checked(Subdomain& sd, std::string* err);
+  /// Add `delta` to every scalar diagonal entry of sd.local's diagonal
+  /// blocks (Manteuffel shift, applied cumulatively by the ladder).
+  static void shift_local_diagonal(Subdomain& sd, int nb, double delta);
   void ssor_solve(const Subdomain& sd, const double* b, double* z) const;
 
   int n_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "common/densemat.hpp"
 #include "common/error.hpp"
@@ -69,9 +70,23 @@ IluPattern ilu_symbolic(const Bcsr<double>& a, int level) {
 
 namespace {
 
+// Report a zero pivot at `row`: records it when the caller passed a
+// status, throws NumericalError otherwise. Returns true when the caller
+// should stop factoring.
+bool pivot_failure(IluFactorStatus* status, int row) {
+  if (status != nullptr) {
+    status->ok = false;
+    status->bad_row = row;
+    return true;
+  }
+  F3D_NUMERIC_CHECK_MSG(false, "zero pivot in ILU at row " + std::to_string(row));
+  return true;  // unreachable
+}
+
 // Shared numeric point ILU in double; callers cast to the storage scalar.
 std::vector<double> factor_point_double(const Csr<double>& a,
-                                        const IluPattern& pat) {
+                                        const IluPattern& pat,
+                                        IluFactorStatus* status) {
   F3D_CHECK(a.n == pat.n);
   const int n = pat.n;
   std::vector<double> val(pat.nnz(), 0.0);
@@ -91,7 +106,7 @@ std::vector<double> factor_point_double(const Csr<double>& a,
     for (int pos = pat.ptr[i]; pos < pat.diag[i]; ++pos) {
       const int k = pat.col[pos];
       const double ukk = val[pat.diag[k]];
-      F3D_CHECK_MSG(ukk != 0.0, "zero pivot in ILU");
+      if (ukk == 0.0 && pivot_failure(status, k)) return val;
       const double lik = val[pos] / ukk;
       val[pos] = lik;
       // Row update: row_i -= lik * U-part of row k (pattern-restricted).
@@ -103,13 +118,14 @@ std::vector<double> factor_point_double(const Csr<double>& a,
         if (pat.col[r] == j) val[r] -= lik * val[q];
       }
     }
-    F3D_CHECK_MSG(val[pat.diag[i]] != 0.0, "zero pivot in ILU");
+    if (val[pat.diag[i]] == 0.0 && pivot_failure(status, i)) return val;
   }
   return val;
 }
 
 std::vector<double> factor_block_double(const Bcsr<double>& a,
-                                        const IluPattern& pat) {
+                                        const IluPattern& pat,
+                                        IluFactorStatus* status) {
   F3D_CHECK(a.nrows == pat.n);
   const int n = pat.n;
   const int nb = a.nb;
@@ -145,7 +161,15 @@ std::vector<double> factor_block_double(const Bcsr<double>& a,
     }
     const bool ok =
         dense::lu_factor(nb, &val[static_cast<std::size_t>(pat.diag[i]) * bsz]);
-    F3D_CHECK_MSG(ok, "singular diagonal block in block ILU");
+    if (!ok) {
+      if (status != nullptr) {
+        status->ok = false;
+        status->bad_row = i;
+        return val;
+      }
+      F3D_NUMERIC_CHECK_MSG(ok, "singular diagonal block in block ILU at row " +
+                                    std::to_string(i));
+    }
   }
   return val;
 }
@@ -153,20 +177,22 @@ std::vector<double> factor_block_double(const Bcsr<double>& a,
 }  // namespace
 
 template <class S>
-PointIlu<S> ilu_factor_point(const Csr<double>& a, const IluPattern& pat) {
+PointIlu<S> ilu_factor_point(const Csr<double>& a, const IluPattern& pat,
+                             IluFactorStatus* status) {
   PointIlu<S> out;
   out.pat = pat;
-  auto v = factor_point_double(a, pat);
+  auto v = factor_point_double(a, pat, status);
   out.val.assign(v.begin(), v.end());
   return out;
 }
 
 template <class S>
-BlockIlu<S> ilu_factor_block(const Bcsr<double>& a, const IluPattern& pat) {
+BlockIlu<S> ilu_factor_block(const Bcsr<double>& a, const IluPattern& pat,
+                             IluFactorStatus* status) {
   BlockIlu<S> out;
   out.nb = a.nb;
   out.pat = pat;
-  auto v = factor_block_double(a, pat);
+  auto v = factor_block_double(a, pat, status);
   out.val.assign(v.begin(), v.end());
   return out;
 }
@@ -202,12 +228,16 @@ void BlockIlu<S>::solve(const double* b, double* x) const {
 template struct BlockIlu<double>;
 template struct BlockIlu<float>;
 template PointIlu<double> ilu_factor_point<double>(const Csr<double>&,
-                                                   const IluPattern&);
+                                                   const IluPattern&,
+                                                   IluFactorStatus*);
 template PointIlu<float> ilu_factor_point<float>(const Csr<double>&,
-                                                 const IluPattern&);
+                                                 const IluPattern&,
+                                                 IluFactorStatus*);
 template BlockIlu<double> ilu_factor_block<double>(const Bcsr<double>&,
-                                                   const IluPattern&);
+                                                   const IluPattern&,
+                                                   IluFactorStatus*);
 template BlockIlu<float> ilu_factor_block<float>(const Bcsr<double>&,
-                                                 const IluPattern&);
+                                                 const IluPattern&,
+                                                 IluFactorStatus*);
 
 }  // namespace f3d::sparse

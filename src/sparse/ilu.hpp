@@ -76,14 +76,27 @@ struct BlockIlu {
   }
 };
 
-/// Numeric point factorization of A on `pat` (pattern from ilu_symbolic of
-/// A's sparsity). Computes in double, stores in S.
-template <class S = double>
-PointIlu<S> ilu_factor_point(const Csr<double>& a, const IluPattern& pat);
+/// Outcome of a numeric factorization when requested through the
+/// non-throwing path. `bad_row` is the first (block) row whose pivot was
+/// zero/singular; the returned factors are only valid up to that row.
+struct IluFactorStatus {
+  bool ok = true;
+  int bad_row = -1;
+};
 
-/// Numeric block factorization.
+/// Numeric point factorization of A on `pat` (pattern from ilu_symbolic of
+/// A's sparsity). Computes in double, stores in S. With `status == nullptr`
+/// a zero pivot throws f3d::NumericalError; with a status out-param the
+/// call never throws on numerical failure — the resilient solver paths use
+/// that to climb a diagonal-shift ladder instead of aborting.
 template <class S = double>
-BlockIlu<S> ilu_factor_block(const Bcsr<double>& a, const IluPattern& pat);
+PointIlu<S> ilu_factor_point(const Csr<double>& a, const IluPattern& pat,
+                             IluFactorStatus* status = nullptr);
+
+/// Numeric block factorization (same status contract as the point variant).
+template <class S = double>
+BlockIlu<S> ilu_factor_block(const Bcsr<double>& a, const IluPattern& pat,
+                             IluFactorStatus* status = nullptr);
 
 /// Convenience: symbolic on a matrix's own sparsity.
 IluPattern ilu_symbolic(const Csr<double>& a, int level);

@@ -1,0 +1,592 @@
+// Resilience subsystem tests: the deterministic fault injector, the
+// status-returning factorization paths, the Schwarz shift ladder, the
+// GMRES stagnation watchdog, BiCGStab breakdown propagation, the psi-NKS
+// recovery ladder (a seeded 4-class fault campaign on a small wing mesh),
+// and the checkpoint/kill/resume round trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cfd/problem.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mesh/generator.hpp"
+#include "par/loadmodel.hpp"
+#include "par/stepmodel.hpp"
+#include "perf/machine.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/faults.hpp"
+#include "resilience/recovery.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/gmres.hpp"
+#include "solver/newton.hpp"
+#include "solver/precond.hpp"
+#include "sparse/assembly.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/vec.hpp"
+
+namespace {
+
+using namespace f3d;
+using namespace f3d::solver;
+using namespace f3d::resilience;
+using sparse::Vec;
+
+// --- fault injector ------------------------------------------------------
+
+TEST(FaultInjector, ScheduleIsDeterministic) {
+  FaultInjector inj(7);
+  FaultPlan plan;
+  plan.fire_every = 3;
+  plan.skip_first = 2;
+  plan.max_fires = 3;
+  inj.arm(FaultSite::kResidual, plan);
+  std::vector<bool> fired;
+  for (int d = 0; d < 12; ++d)
+    fired.push_back(inj.should_fire(FaultSite::kResidual));
+  // Fires at draws 2, 5, 8, then capped by max_fires.
+  const std::vector<bool> expect = {false, false, true, false, false, true,
+                                    false, false, true, false, false, false};
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(inj.draws(FaultSite::kResidual), 12);
+  EXPECT_EQ(inj.fires(FaultSite::kResidual), 3);
+  EXPECT_EQ(inj.total_fires(), 3);
+}
+
+TEST(FaultInjector, ProbabilityDrawsReproduceFromSeed) {
+  FaultPlan plan;
+  plan.probability = 0.3;
+  FaultInjector a(42), b(42), c(43);
+  a.arm(FaultSite::kGmres, plan);
+  b.arm(FaultSite::kGmres, plan);
+  c.arm(FaultSite::kGmres, plan);
+  int diffs_vs_c = 0;
+  for (int d = 0; d < 200; ++d) {
+    const bool fa = a.should_fire(FaultSite::kGmres);
+    EXPECT_EQ(fa, b.should_fire(FaultSite::kGmres));
+    if (fa != c.should_fire(FaultSite::kGmres)) ++diffs_vs_c;
+  }
+  EXPECT_GT(a.fires(FaultSite::kGmres), 0);
+  EXPECT_LT(a.fires(FaultSite::kGmres), 200);
+  EXPECT_GT(diffs_vs_c, 0);  // a different seed gives a different stream
+}
+
+TEST(FaultInjector, StateRestoreFastForwardsTheStream) {
+  FaultPlan plan;
+  plan.probability = 0.5;
+  FaultInjector a(99);
+  a.arm(FaultSite::kBicgstab, plan);
+  for (int d = 0; d < 37; ++d) a.should_fire(FaultSite::kBicgstab);
+  const FaultInjector::State mid = a.state();
+
+  std::vector<bool> tail_a;
+  for (int d = 0; d < 50; ++d)
+    tail_a.push_back(a.should_fire(FaultSite::kBicgstab));
+
+  FaultInjector b(0);  // seed overwritten by restore
+  b.arm(FaultSite::kBicgstab, plan);
+  b.restore(mid);
+  EXPECT_EQ(b.draws(FaultSite::kBicgstab), 37);
+  std::vector<bool> tail_b;
+  for (int d = 0; d < 50; ++d)
+    tail_b.push_back(b.should_fire(FaultSite::kBicgstab));
+  EXPECT_EQ(tail_a, tail_b);
+}
+
+TEST(FaultInjector, UnarmedSitesNeverFire) {
+  FaultInjector inj(1);
+  for (int d = 0; d < 100; ++d) {
+    EXPECT_FALSE(inj.should_fire(FaultSite::kResidual));
+    EXPECT_FALSE(fault_fires(FaultSite::kResidual));  // none registered
+  }
+}
+
+// --- status-returning factorization --------------------------------------
+
+sparse::Csr<double> tridiag_with_zero_pivot(int n, int zero_row) {
+  sparse::Csr<double> a;
+  a.n = n;
+  a.ptr.push_back(0);
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) {
+      a.col.push_back(i - 1);
+      a.val.push_back(-1.0);
+    }
+    a.col.push_back(i);
+    a.val.push_back(i == zero_row ? 0.0 : 2.5);
+    if (i < n - 1) {
+      a.col.push_back(i + 1);
+      a.val.push_back(-1.0);
+    }
+    a.ptr.push_back(static_cast<int>(a.col.size()));
+  }
+  return a;
+}
+
+TEST(IluStatus, ZeroPivotReportsInsteadOfThrowing) {
+  auto a = tridiag_with_zero_pivot(20, 0);
+  auto pat = sparse::ilu_symbolic(a, 0);
+  sparse::IluFactorStatus st;
+  EXPECT_NO_THROW(sparse::ilu_factor_point<double>(a, pat, &st));
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.bad_row, 0);
+}
+
+TEST(IluStatus, ZeroPivotThrowsOnThePlainPath) {
+  // Row 0: no prior elimination can fill the pivot back in.
+  auto a = tridiag_with_zero_pivot(20, 0);
+  auto pat = sparse::ilu_symbolic(a, 0);
+  EXPECT_THROW(sparse::ilu_factor_point<double>(a, pat), f3d::NumericalError);
+}
+
+TEST(IluStatus, SingularDiagonalBlockReported) {
+  auto m = mesh::generate_box_mesh(3, 3, 3);
+  auto s = sparse::stencil_from_mesh(m);
+  auto fn = sparse::synthetic_values(s);
+  auto a = sparse::build_bcsr(s, 2, fn);
+  double* blk = a.find_block(0, 0);
+  ASSERT_NE(blk, nullptr);
+  for (int k = 0; k < 4; ++k) blk[k] = 0.0;
+  auto pat = sparse::ilu_symbolic(a, 0);
+  sparse::IluFactorStatus st;
+  EXPECT_NO_THROW(sparse::ilu_factor_block<double>(a, pat, &st));
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.bad_row, 0);
+  EXPECT_THROW(sparse::ilu_factor_block<double>(a, pat), f3d::NumericalError);
+}
+
+// --- Schwarz shift ladder ------------------------------------------------
+
+TEST(SchwarzLadder, ShiftAbsorbsSingularDiagonalBlock) {
+  auto m = mesh::generate_box_mesh(4, 4, 4);
+  auto s = sparse::stencil_from_mesh(m);
+  auto fn = sparse::synthetic_values(s);
+  auto a = sparse::build_bcsr(s, 2, fn);
+  auto prec = make_global_ilu(a, 1);
+
+  auto bad = a;
+  // Block row 0: elimination cannot fill the singular pivot back in.
+  double* blk = bad.find_block(0, 0);
+  ASSERT_NE(blk, nullptr);
+  for (int k = 0; k < 4; ++k) blk[k] = 0.0;
+
+  EXPECT_THROW(prec->refactor(bad), f3d::NumericalError);
+
+  FactorReport report;
+  EXPECT_TRUE(prec->refactor_checked(bad, 1e-8, 12, &report));
+  EXPECT_GT(report.shift_attempts, 0);
+  EXPECT_GT(report.shift_used, 0.0);
+
+  // The shifted factors must still be usable (finite output).
+  Vec r(a.scalar_n(), 1.0), z(a.scalar_n(), 0.0);
+  prec->apply(r.data(), z.data());
+  for (double v : z) EXPECT_TRUE(std::isfinite(v));
+}
+
+// --- Krylov solvers under injected faults --------------------------------
+
+struct SmallSystem {
+  sparse::Bcsr<double> a;
+  Vec b;
+};
+
+SmallSystem make_system() {
+  auto m = mesh::generate_box_mesh(4, 4, 4);
+  auto s = sparse::stencil_from_mesh(m);
+  auto fn = sparse::synthetic_values(s);
+  SmallSystem sys;
+  sys.a = sparse::build_bcsr(s, 2, fn);
+  Rng rng(3);
+  sys.b.resize(sys.a.scalar_n());
+  for (auto& v : sys.b) v = rng.uniform(-1, 1);
+  return sys;
+}
+
+TEST(GmresStagnation, WipedDirectionsStopWithReason) {
+  auto sys = make_system();
+  LinearOperator op;
+  op.n = sys.a.scalar_n();
+  op.apply = [&](const double* x, double* y) { sys.a.spmv(x, y); };
+  IdentityPreconditioner m(op.n);
+
+  FaultInjector inj(5);
+  FaultPlan always;
+  always.fire_every = 1;
+  inj.arm(FaultSite::kGmres, always);
+  InjectorScope scope(&inj);
+
+  Vec x(op.n, 0.0);
+  auto res = gmres(op, m, sys.b, x, {});
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.stagnated);
+  EXPECT_FALSE(res.reason.empty());
+  // Dead directions contribute nothing; the residual estimate must not
+  // collapse to a bogus zero.
+  EXPECT_GT(res.final_residual, 0.0);
+}
+
+TEST(BicgstabBreakdown, InjectedCollapseSetsFlag) {
+  auto sys = make_system();
+  LinearOperator op;
+  op.n = sys.a.scalar_n();
+  op.apply = [&](const double* x, double* y) { sys.a.spmv(x, y); };
+  IdentityPreconditioner m(op.n);
+
+  FaultInjector inj(5);
+  FaultPlan always;
+  always.fire_every = 1;
+  inj.arm(FaultSite::kBicgstab, always);
+  InjectorScope scope(&inj);
+
+  Vec x(op.n, 0.0);
+  auto res = bicgstab(op, m, sys.b, x, {});
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+// --- psi-NKS recovery ladder ---------------------------------------------
+
+PtcOptions campaign_options() {
+  PtcOptions opts;
+  opts.cfl0 = 20.0;
+  opts.max_steps = 40;
+  opts.rtol = 1e-6;
+  opts.schwarz.fill_level = 1;
+  opts.num_subdomains = 2;
+  return opts;
+}
+
+/// One seeded fault run on the small wing mesh; `x_out` (optional)
+/// receives the final state for bitwise comparisons.
+PtcResult run_wing(FaultInjector* inj, const PtcOptions& opts,
+                   std::vector<double>* x_out = nullptr) {
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = 6, .ny = 3, .nz = 3});
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  PtcOptions o = opts;
+  o.fault_injector = inj;
+  auto res = ptc_solve(prob, x, o);
+  if (x_out != nullptr) *x_out = x;
+  return res;
+}
+
+enum class FaultClass { kNanResidual, kZeroPivot, kGmresPoison, kBicgstabPoison };
+
+FaultInjector make_campaign_injector(FaultClass cls, std::uint64_t seed) {
+  FaultInjector inj(seed);
+  const int s = static_cast<int>(seed % 5);
+  switch (cls) {
+    case FaultClass::kNanResidual: {
+      FaultPlan p;
+      // Early enough that even a fast clean run (~30 evaluations) is hit.
+      p.fire_every = 40;
+      p.skip_first = 5 + 3 * s;
+      p.max_fires = 3;
+      inj.arm(FaultSite::kResidual, p);
+      break;
+    }
+    case FaultClass::kZeroPivot: {
+      FaultPlan p;
+      p.fire_every = 3;
+      p.skip_first = s % 3;
+      p.max_fires = 3;
+      inj.arm(FaultSite::kFactorPivot, p);
+      break;
+    }
+    case FaultClass::kGmresPoison: {
+      FaultPlan p;  // persistent: every Arnoldi direction wiped
+      p.fire_every = 1;
+      inj.arm(FaultSite::kGmres, p);
+      break;
+    }
+    case FaultClass::kBicgstabPoison: {
+      FaultPlan p;  // persistent: every BiCGStab iteration breaks down
+      p.fire_every = 1;
+      inj.arm(FaultSite::kBicgstab, p);
+      break;
+    }
+  }
+  return inj;
+}
+
+PtcOptions class_options(FaultClass cls, bool recovery) {
+  PtcOptions opts = campaign_options();
+  if (cls == FaultClass::kBicgstabPoison)
+    opts.krylov = PtcOptions::Krylov::kBicgstab;
+  opts.recovery.enabled = recovery;
+  return opts;
+}
+
+TEST(PtcRecovery, NanResidualIsRejectedAndRecovered) {
+  auto inj = make_campaign_injector(FaultClass::kNanResidual, 0);
+  auto res = run_wing(&inj, class_options(FaultClass::kNanResidual, true));
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kDetectNanResidual), 0);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kStepRejected), 0);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kCflBacktrack), 0);
+  EXPECT_GT(res.steps_rejected, 0);
+}
+
+TEST(PtcRecovery, NanResidualAbortsWithoutRecovery) {
+  auto inj = make_campaign_injector(FaultClass::kNanResidual, 0);
+  EXPECT_THROW(
+      run_wing(&inj, class_options(FaultClass::kNanResidual, false)),
+      f3d::NumericalError);
+}
+
+TEST(PtcRecovery, ZeroPivotIsShiftedOrRebuilt) {
+  auto inj = make_campaign_injector(FaultClass::kZeroPivot, 1);
+  auto res = run_wing(&inj, class_options(FaultClass::kZeroPivot, true));
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kDetectSingularFactor), 0);
+}
+
+TEST(PtcRecovery, ZeroPivotAbortsWithoutRecovery) {
+  auto inj = make_campaign_injector(FaultClass::kZeroPivot, 1);
+  EXPECT_THROW(run_wing(&inj, class_options(FaultClass::kZeroPivot, false)),
+               f3d::NumericalError);
+}
+
+TEST(PtcRecovery, BicgstabBreakdownSwapsToGmres) {
+  auto inj = make_campaign_injector(FaultClass::kBicgstabPoison, 2);
+  auto res = run_wing(&inj, class_options(FaultClass::kBicgstabPoison, true));
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.krylov_breakdowns, 0);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kDetectBreakdown), 0);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kKrylovSwap), 0);
+  bool breakdown_recorded = false;
+  for (const auto& h : res.history) breakdown_recorded |= h.linear_breakdown;
+  EXPECT_TRUE(breakdown_recorded);
+}
+
+TEST(PtcRecovery, BicgstabBreakdownStallsWithoutRecovery) {
+  auto inj = make_campaign_injector(FaultClass::kBicgstabPoison, 2);
+  auto res = run_wing(&inj, class_options(FaultClass::kBicgstabPoison, false));
+  EXPECT_FALSE(res.converged);
+  EXPECT_GT(res.krylov_breakdowns, 0);  // satellite: breakdown propagated
+}
+
+TEST(PtcRecovery, GmresPoisonEscalatesThenSwaps) {
+  auto inj = make_campaign_injector(FaultClass::kGmresPoison, 3);
+  auto res = run_wing(&inj, class_options(FaultClass::kGmresPoison, true));
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kDetectStagnation), 0);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kRestartEscalation), 0);
+  EXPECT_GT(res.recovery_log.count(RecoveryAction::kKrylovSwap), 0);
+}
+
+TEST(PtcRecovery, GmresPoisonStallsWithoutRecovery) {
+  auto inj = make_campaign_injector(FaultClass::kGmresPoison, 3);
+  auto res = run_wing(&inj, class_options(FaultClass::kGmresPoison, false));
+  EXPECT_FALSE(res.converged);
+  bool stagnation_recorded = false;
+  for (const auto& h : res.history) stagnation_recorded |= h.linear_stagnated;
+  EXPECT_TRUE(stagnation_recorded);
+}
+
+// The headline campaign: 4 fault classes x 5 seeds. With recovery enabled
+// >= 95% of runs must converge to rtol and none may abort; with recovery
+// disabled every run must fail (abort or miss rtol).
+TEST(FaultCampaign, RecoveryConvergesFaultsFailWithout) {
+  const FaultClass classes[] = {
+      FaultClass::kNanResidual, FaultClass::kZeroPivot,
+      FaultClass::kGmresPoison, FaultClass::kBicgstabPoison};
+  const std::uint64_t seeds[] = {11, 22, 33, 44, 55};
+
+  int total = 0, recovered = 0, failed_without = 0;
+  for (FaultClass cls : classes) {
+    for (std::uint64_t seed : seeds) {
+      ++total;
+      // Recovery on: must not throw (no F3D_CHECK abort reachable).
+      {
+        auto inj = make_campaign_injector(cls, seed);
+        PtcResult res;
+        EXPECT_NO_THROW(res = run_wing(&inj, class_options(cls, true)))
+            << "class " << static_cast<int>(cls) << " seed " << seed;
+        if (res.converged) ++recovered;
+      }
+      // Recovery off: the same faults reproducibly fail.
+      {
+        auto inj = make_campaign_injector(cls, seed);
+        bool failed = false;
+        try {
+          auto res = run_wing(&inj, class_options(cls, false));
+          failed = !res.converged;
+        } catch (const f3d::NumericalError&) {
+          failed = true;
+        }
+        EXPECT_TRUE(failed) << "disabled run survived: class "
+                            << static_cast<int>(cls) << " seed " << seed;
+        if (failed) ++failed_without;
+      }
+    }
+  }
+  EXPECT_EQ(total, 20);
+  EXPECT_GE(recovered * 100, total * 95)
+      << "recovered " << recovered << "/" << total;
+  EXPECT_EQ(failed_without, total);
+}
+
+// --- straggler injection in the parallel step model ----------------------
+
+TEST(Straggler, InjectedSlowRankStretchesModeledSteps) {
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = 10, .ny = 6, .nz = 6});
+  auto g = mesh::build_graph(m.num_vertices(), m.edges());
+  auto load = par::measure_load(g, part::kway_grow(g, 8));
+  par::WorkCoefficients work;
+  work.sparse_bytes_per_vertex_it = 400;
+  std::vector<par::StepCounts> steps(10);
+
+  auto clean = par::simulate_solve(perf::asci_red(), load, work, steps);
+  EXPECT_EQ(clean.straggler_steps, 0);
+
+  FaultInjector inj(17);
+  FaultPlan p;
+  p.fire_every = 2;  // every other modeled step hits a slow rank
+  p.magnitude = 4.0;
+  inj.arm(FaultSite::kRank, p);
+  InjectorScope scope(&inj);
+  auto slow = par::simulate_solve(perf::asci_red(), load, work, steps);
+  EXPECT_EQ(slow.straggler_steps, 5);
+  EXPECT_GT(slow.total_seconds, clean.total_seconds);
+  // Stretch shows up as imbalance (implicit sync), not extra busy time.
+  EXPECT_GT(slow.aggregate.t_implicit_sync, clean.aggregate.t_implicit_sync);
+}
+
+// --- checkpoint/restart --------------------------------------------------
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  PtcCheckpoint ck;
+  ck.step = 7;
+  ck.steps_done = 7;
+  Rng rng(12);
+  ck.x.resize(257);
+  for (auto& v : ck.x) v = rng.uniform(-10, 10);
+  ck.rnorm = 1.2345678901234567e-3;
+  ck.r0 = 9.87654321e2;
+  ck.cfl_relax = 0.25;
+  ck.function_evaluations = 1234;
+  ck.total_linear_iterations = 5678;
+  ck.gmres_restart = 40;
+  ck.krylov = 1;
+  ck.has_injector = true;
+  FaultInjector inj(314);
+  FaultPlan p;
+  p.probability = 0.4;
+  inj.arm(FaultSite::kResidual, p);
+  for (int d = 0; d < 23; ++d) inj.should_fire(FaultSite::kResidual);
+  ck.injector = inj.state();
+  ck.log.add(3, RecoveryAction::kStepRejected, "attempt 1");
+  ck.log.add(3, RecoveryAction::kCflBacktrack, "cfl_relax=0.25");
+
+  const std::string path = temp_path("f3d_ck_roundtrip.bin");
+  std::remove(path.c_str());
+  ASSERT_TRUE(save_checkpoint(path, ck));
+  auto back = load_checkpoint(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->step, ck.step);
+  EXPECT_EQ(back->steps_done, ck.steps_done);
+  ASSERT_EQ(back->x.size(), ck.x.size());
+  EXPECT_EQ(0, std::memcmp(back->x.data(), ck.x.data(),
+                           ck.x.size() * sizeof(double)));
+  EXPECT_EQ(back->rnorm, ck.rnorm);  // bitwise: no text round trip
+  EXPECT_EQ(back->r0, ck.r0);
+  EXPECT_EQ(back->cfl_relax, ck.cfl_relax);
+  EXPECT_EQ(back->function_evaluations, ck.function_evaluations);
+  EXPECT_EQ(back->total_linear_iterations, ck.total_linear_iterations);
+  EXPECT_EQ(back->gmres_restart, ck.gmres_restart);
+  EXPECT_EQ(back->krylov, ck.krylov);
+  ASSERT_TRUE(back->has_injector);
+  EXPECT_EQ(back->injector.seed, ck.injector.seed);
+  EXPECT_EQ(back->injector.draws, ck.injector.draws);
+  EXPECT_EQ(back->injector.fires, ck.injector.fires);
+  ASSERT_EQ(back->log.size(), ck.log.size());
+  for (std::size_t i = 0; i < ck.log.size(); ++i) {
+    EXPECT_EQ(back->log.events()[i].step, ck.log.events()[i].step);
+    EXPECT_EQ(back->log.events()[i].action, ck.log.events()[i].action);
+    EXPECT_EQ(back->log.events()[i].detail, ck.log.events()[i].detail);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingOrCorruptFilesAreRejected) {
+  EXPECT_FALSE(load_checkpoint(temp_path("f3d_ck_missing.bin")).has_value());
+  const std::string path = temp_path("f3d_ck_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "F3DCKPT2truncated";
+  }
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+// Kill a run mid-solve, resume from its checkpoint, and require the
+// resumed trajectory to be bit-identical to an uninterrupted run — with a
+// live fault injector, so the injector stream restore is exercised too.
+TEST(Checkpoint, KilledRunResumesBitIdentically) {
+  const std::string full_path = temp_path("f3d_ck_full.bin");
+  const std::string kill_path = temp_path("f3d_ck_killed.bin");
+  std::remove(full_path.c_str());
+  std::remove(kill_path.c_str());
+
+  auto opts = class_options(FaultClass::kNanResidual, true);
+  opts.recovery.checkpoint_every = 1;
+
+  // Uninterrupted reference run.
+  auto inj_full = make_campaign_injector(FaultClass::kNanResidual, 4);
+  PtcOptions o_full = opts;
+  o_full.recovery.checkpoint_path = full_path;
+  std::vector<double> x_full;
+  auto res_full = run_wing(&inj_full, o_full, &x_full);
+  ASSERT_TRUE(res_full.converged);
+
+  // "Killed" run: same faults, stopped early, leaving a checkpoint.
+  auto inj_kill = make_campaign_injector(FaultClass::kNanResidual, 4);
+  PtcOptions o_kill = opts;
+  o_kill.recovery.checkpoint_path = kill_path;
+  o_kill.max_steps = 3;  // well before convergence (~6 steps)
+  auto res_kill = run_wing(&inj_kill, o_kill);
+  ASSERT_FALSE(res_kill.converged);
+  ASSERT_GT(res_kill.recovery_log.count(RecoveryAction::kCheckpointWrite), 0);
+
+  // Resume: a fresh process would re-arm the injector and restore.
+  auto inj_resume = make_campaign_injector(FaultClass::kNanResidual, 4);
+  PtcOptions o_resume = opts;
+  o_resume.recovery.checkpoint_path = kill_path;
+  o_resume.recovery.resume = true;
+  std::vector<double> x_resume;
+  auto res_resume = run_wing(&inj_resume, o_resume, &x_resume);
+  EXPECT_TRUE(res_resume.resumed);
+  EXPECT_GT(res_resume.resume_step, 0);
+  EXPECT_TRUE(res_resume.converged);
+  EXPECT_GT(res_resume.recovery_log.count(RecoveryAction::kResume), 0);
+
+  // Bitwise-identical final state: exact double equality, no tolerance.
+  EXPECT_EQ(res_resume.final_residual, res_full.final_residual);
+  EXPECT_EQ(res_resume.steps, res_full.steps);
+  ASSERT_EQ(x_resume.size(), x_full.size());
+  EXPECT_EQ(0, std::memcmp(x_resume.data(), x_full.data(),
+                           x_full.size() * sizeof(double)));
+
+  std::remove(full_path.c_str());
+  std::remove(kill_path.c_str());
+}
+
+}  // namespace
