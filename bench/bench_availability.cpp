@@ -1,0 +1,184 @@
+// Availability U-curve of the distributed campaign vs. the Young/Daly
+// analytic optimum.
+//
+// A psi-NKS campaign runs on the virtual parallel machine with a seeded
+// fail-stop process armed (FaultSite::kRankFail, one opportunity per
+// alive rank per step) and buddy checkpointing at a swept interval tau.
+// Checkpointing too often pays the mirror tax every few steps; too rarely
+// pays long rework after every failure — the classic U-curve whose
+// analytic minimum is tau_opt = sqrt(2 * delta * MTBF) (Young 1974, Daly
+// 2006 leading term). The bench measures the curve from the simulator and
+// checks that its minimum lands within 25% (in overhead) of the Daly
+// prediction for at least one (MTBF, cost) configuration.
+//
+// The sweep uses the spare-rank recovery policy with an inexhaustible
+// spare pool so the decomposition (and hence the step time) is stationary
+// — the regime the Daly model assumes. The same seed is used across the
+// interval sweep, so every tau sees the identical failure sequence and
+// the curve differences are pure checkpoint-policy effects.
+//
+// Usage: bench_availability [-procs 64] [-steps 2000] [-seeds 3]
+//                           [-mtbf-steps 150]
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "par/distres.hpp"
+#include "perf/machine.hpp"
+#include "resilience/faults.hpp"
+
+namespace {
+using namespace f3d;
+
+struct SweepPoint {
+  int interval_steps = 0;
+  double interval_s = 0;
+  double measured_overhead = 0;  ///< total/useful - 1, averaged over seeds
+  double daly_overhead = 0;
+  double failures = 0;  ///< rank failures per run, averaged
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int procs = opts.get_int("procs", 64);
+  const int nsteps = opts.get_int("steps", 6000);
+  const int nseeds = opts.get_int("seeds", 3);
+  const double mtbf_steps = opts.get_double("mtbf-steps", 300);
+
+  benchutil::print_header(
+      "Availability - buddy checkpoint interval vs Young/Daly optimum",
+      "tau_opt = sqrt(2*delta*MTBF); overhead(tau) = delta/tau + "
+      "(tau/2 + R)/MTBF");
+
+  const auto machine = perf::asci_red();
+
+  // A representative large-P decomposition, synthesized from a typical
+  // tetrahedral surface law (the bench sweeps availability policy, not
+  // partition quality, so a canned law is the right control).
+  par::SurfaceLaw law;
+  law.edges_per_vertex = 7;
+  law.ghost_coeff = 2.0;
+  law.cut_coeff = 4.0;
+  law.imbalance_coeff = 0.5;
+  law.neighbor_base = 8;
+  const double total_vertices = 4000.0 * procs;
+  const auto load = par::synthesize_load(total_vertices, procs, law);
+  const auto domain = par::make_domain(load);
+
+  par::WorkCoefficients work;
+  work.sparse_bytes_per_vertex_it = 1200;
+  work.sparse_flops_per_vertex_it = 300;
+  const std::vector<par::StepCounts> steps(static_cast<std::size_t>(nsteps),
+                                           par::StepCounts{});
+
+  // Fault-free step time: converts step-denominated knobs to seconds.
+  const double step_s = par::model_step(machine, load, work, steps[0]).total();
+
+  // One failure somewhere in the machine every `mtbf_steps` steps on
+  // average -> per-rank per-step probability.
+  const double q = 1.0 / (mtbf_steps * procs);
+  const double mtbf_s = mtbf_steps * step_s;
+
+  par::CampaignOptions base;
+  base.policy = par::RecoveryPolicy::kSpareRank;
+  base.spare_ranks = 1 << 20;  // never exhausted: stationary decomposition
+  base.spare_boot_s = 0.25 * step_s;
+  // Full warm-restart image: state + residual (2*nb) + Jacobian and ILU
+  // blocks (2*nb^2) + a 20-vector Krylov basis (20*nb) = 120 doubles per
+  // vertex at nb = 4.
+  base.checkpoint_doubles_per_vertex =
+      2.0 * work.nb + 2.0 * work.nb * work.nb + 20.0 * work.nb;
+
+  // Per-event costs for the analytic model, taken from the simulator's
+  // own cost model so both sides price a checkpoint identically.
+  double delta = 0, restart_s = 0;
+  {
+    resilience::FaultInjector probe(1);
+    par::CampaignOptions o = base;
+    o.checkpoint_interval = 0;
+    o.injector = &probe;
+    const auto r = par::simulate_campaign(machine, domain, work,
+                                          {steps.begin(), steps.begin() + 1},
+                                          o);
+    delta = r.checkpoint_cost_s;
+    // A recovery pulls the image from the buddy, boots the spare, and
+    // re-mirrors the restored configuration: 2*delta + boot.
+    restart_s = 2.0 * r.checkpoint_cost_s + base.spare_boot_s;
+  }
+
+  std::printf(
+      "procs %d, %.0f vertices, step %.4f s | per-rank q %.2e "
+      "(MTBF %.0f steps = %.2f s) | delta %.4f s, R %.4f s\n\n",
+      procs, total_vertices, step_s, q, mtbf_steps, mtbf_s, delta, restart_s);
+
+  const double tau_opt_s = par::daly_optimal_interval(delta, mtbf_s);
+  const int tau_opt_steps =
+      std::max(1, static_cast<int>(std::lround(tau_opt_s / step_s)));
+
+  std::vector<int> grid;
+  for (int t = 1; t <= 16 * tau_opt_steps; t = std::max(t + 1, t * 3 / 2))
+    if (t >= std::max(1, tau_opt_steps / 8)) grid.push_back(t);
+
+  std::vector<SweepPoint> curve;
+  for (int tau : grid) {
+    SweepPoint pt;
+    pt.interval_steps = tau;
+    pt.interval_s = tau * step_s;
+    for (int seed = 1; seed <= nseeds; ++seed) {
+      resilience::FaultInjector injector(static_cast<std::uint64_t>(seed));
+      resilience::FaultPlan fail;
+      fail.probability = q;
+      injector.arm(resilience::FaultSite::kRankFail, fail);
+      par::CampaignOptions o = base;
+      o.checkpoint_interval = tau;
+      o.injector = &injector;
+      const auto r = par::simulate_campaign(machine, domain, work, steps, o);
+      pt.measured_overhead +=
+          r.useful_seconds() > 0
+              ? r.total_seconds() / r.useful_seconds() - 1.0
+              : 0;
+      pt.failures += r.rank_failures;
+    }
+    pt.measured_overhead /= nseeds;
+    pt.failures /= nseeds;
+    pt.daly_overhead =
+        par::daly_overhead(pt.interval_s, delta, restart_s, mtbf_s);
+    curve.push_back(pt);
+  }
+
+  Table tab({"tau (steps)", "tau (s)", "overhead meas", "overhead Daly",
+             "failures/run"});
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const auto& pt = curve[i];
+    if (pt.measured_overhead < curve[best].measured_overhead) best = i;
+    tab.add_row({std::to_string(pt.interval_steps),
+                 Table::num(pt.interval_s, 3),
+                 Table::num(100.0 * pt.measured_overhead, 2) + " %",
+                 Table::num(100.0 * pt.daly_overhead, 2) + " %",
+                 Table::num(pt.failures, 1)});
+  }
+  tab.print();
+
+  const double best_overhead = curve[best].measured_overhead;
+  const double daly_at_opt =
+      par::daly_overhead(tau_opt_s, delta, restart_s, mtbf_s);
+  const double rel =
+      daly_at_opt > 0 ? std::fabs(best_overhead - daly_at_opt) / daly_at_opt
+                      : 0;
+  std::printf(
+      "\nmeasured minimum: tau = %d steps (%.3f s), overhead %.2f %%\n",
+      curve[best].interval_steps, curve[best].interval_s,
+      100.0 * best_overhead);
+  std::printf("Daly optimum:     tau = %.3f s (~%d steps), overhead %.2f %%\n",
+              tau_opt_s, tau_opt_steps, 100.0 * daly_at_opt);
+  std::printf("minimum-overhead agreement: %.1f %% %s\n", 100.0 * rel,
+              rel <= 0.25 ? "(within 25% - VALIDATED)" : "(outside 25%)");
+  return rel <= 0.25 ? 0 : 1;
+}

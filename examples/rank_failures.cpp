@@ -1,0 +1,107 @@
+// Rank failures: run a psi-NKS campaign on the virtual parallel machine
+// with a seeded fail-stop process and a lossy interconnect armed, under
+// both recovery policies — spare-rank substitution and
+// shrink-and-repartition — from the SAME seed, and print the recovery
+// logs and step-time breakdowns side by side. The contrast is the point:
+// spares keep the decomposition (and the step time) intact at the price
+// of idle hardware; shrinking survives with what is left but the
+// absorbed subdomains show up as load imbalance (implicit
+// synchronization time) in every step after the failure.
+//
+//   $ rank_failures [-seed 7] [-vertices 4000] [-ranks 16] [-steps 60]
+
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/graph.hpp"
+#include "mesh/ordering.hpp"
+#include "par/distres.hpp"
+#include "partition/partition.hpp"
+#include "perf/machine.hpp"
+#include "resilience/faults.hpp"
+
+namespace {
+using namespace f3d;
+
+void print_result(const par::CampaignResult& r, const char* name) {
+  std::printf("\n--- %s ---\n%s", name, r.log.to_string().c_str());
+  const auto& a = r.sim.aggregate;
+  std::printf(
+      "steps %d%s | failures %d (spares used %d, shrinks %d) | "
+      "retransmits %d\n",
+      r.steps_executed, r.completed ? "" : " (ABORTED: state lost)",
+      r.rank_failures, r.spares_used, r.shrink_events, a.retransmits);
+  std::printf(
+      "flux %.2f s | sparse %.2f s | reductions %.2f s | scatter %.2f s | "
+      "implicit sync %.2f s | recovery %.2f s\n",
+      a.t_flux, a.t_sparse, a.t_reductions, a.t_scatter, a.t_implicit_sync,
+      a.t_recovery);
+  std::printf(
+      "checkpoint %.3f s + rework %.3f s + restore %.3f s | total %.2f s | "
+      "availability %.1f %%\n",
+      r.t_checkpoint, r.t_rework, r.t_restore, r.total_seconds(),
+      100.0 * r.availability());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto seed = opts.get_uint64("seed", 7);
+  const int ranks = opts.get_int("ranks", 16);
+  const int nsteps = opts.get_int("steps", 60);
+
+  auto mesh = mesh::generate_wing_mesh_with_size(opts.get_int("vertices", 4000));
+  mesh::apply_best_ordering(mesh);
+  const auto g = mesh::build_graph(mesh.num_vertices(), mesh.edges());
+  const auto domain = par::make_domain(g, part::kway_grow(g, ranks));
+
+  std::printf(
+      "mesh %d vertices on %d ranks (ASCI Red model) | seed %llu | "
+      "%d steps\n",
+      mesh.num_vertices(), ranks, static_cast<unsigned long long>(seed),
+      nsteps);
+
+  const auto machine = perf::asci_red();
+  par::WorkCoefficients work;
+  work.sparse_bytes_per_vertex_it = 1200;
+  work.sparse_flops_per_vertex_it = 300;
+  const std::vector<par::StepCounts> steps(static_cast<std::size_t>(nsteps),
+                                           par::StepCounts{});
+
+  // The same deterministic storm for both policies: a rank dies roughly
+  // every 20 steps somewhere in the machine, and ~1 in 500 messages
+  // arrives corrupted.
+  auto make_injector = [&](resilience::FaultInjector& inj) {
+    resilience::FaultPlan fail;
+    fail.probability = 1.0 / (20.0 * ranks);
+    inj.arm(resilience::FaultSite::kRankFail, fail);
+    resilience::FaultPlan corrupt;
+    corrupt.probability = 1.0 / 500.0;
+    inj.arm(resilience::FaultSite::kMessage, corrupt);
+  };
+
+  par::CampaignOptions o;
+  o.checkpoint_interval = 10;
+  o.comm = par::CommReliability{};
+
+  {
+    resilience::FaultInjector injector(seed);
+    make_injector(injector);
+    o.policy = par::RecoveryPolicy::kSpareRank;
+    o.spare_ranks = opts.get_int("spares", 4);
+    o.injector = &injector;
+    print_result(par::simulate_campaign(machine, domain, work, steps, o),
+                 "spare-rank substitution");
+  }
+  {
+    resilience::FaultInjector injector(seed);
+    make_injector(injector);
+    o.policy = par::RecoveryPolicy::kShrinkRepartition;
+    o.injector = &injector;
+    print_result(par::simulate_campaign(machine, domain, work, steps, o),
+                 "shrink-and-repartition");
+  }
+  return 0;
+}

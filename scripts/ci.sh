@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full CI gate in one command:
+#   1. release build + complete test suite
+#   2. ASan+UBSan build + the resilience-labelled tests (the fault
+#      injection / recovery / checkpoint / distributed-campaign paths,
+#      where memory bugs would hide behind error handling)
+#
+# Usage: scripts/ci.sh [-j N]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== release build + full test suite ==="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --preset release -j "$JOBS"
+
+echo "=== asan build + resilience-labelled tests ==="
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+ctest --preset asan-resilience -j "$JOBS"
+
+echo "=== CI green ==="

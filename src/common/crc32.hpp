@@ -1,0 +1,35 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Used to frame anything whose silent corruption must be detected rather
+// than deserialized into garbage: checkpoint payloads on disk and the
+// buddy (diskless neighbor) checkpoint copies of the distributed
+// resilience model.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace f3d {
+
+/// CRC of `n` bytes at `data`; chainable via `seed` (pass the previous
+/// call's result to continue a running checksum).
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace f3d

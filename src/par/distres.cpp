@@ -1,0 +1,253 @@
+#include "par/distres.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "resilience/buddy.hpp"
+#include "resilience/checkpoint.hpp"
+
+namespace f3d::par {
+
+const char* recovery_policy_name(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kSpareRank: return "spare-rank";
+    case RecoveryPolicy::kShrinkRepartition: return "shrink-repartition";
+  }
+  return "?";
+}
+
+CampaignDomain make_domain(const mesh::Graph& g, part::Partition p) {
+  CampaignDomain d;
+  d.graph = &g;
+  d.load = measure_load(g, p);
+  d.partition = std::move(p);
+  return d;
+}
+
+CampaignDomain make_domain(PartitionLoad synthesized) {
+  CampaignDomain d;
+  d.load = std::move(synthesized);
+  return d;
+}
+
+PartitionLoad shrink_load(const PartitionLoad& in) {
+  F3D_CHECK_MSG(in.procs >= 2, "cannot shrink a 1-processor load");
+  PartitionLoad out = in;
+  const double grow =
+      static_cast<double>(in.procs) / static_cast<double>(in.procs - 1);
+  out.procs = in.procs - 1;
+  out.active_procs = std::min(in.active_procs, out.procs);
+  // Bulk work spreads over one fewer processor...
+  out.avg_owned = in.avg_owned * grow;
+  out.avg_edges = in.avg_edges * grow;
+  // ...but the dead subdomain lands on its ~avg_neighbors neighbors, so
+  // the critical-path processor gains a neighbor's share of a whole
+  // subdomain — worse than the average, which is the point: shrink
+  // recovery trades spare hardware for load imbalance.
+  const double share = 1.0 / std::max(in.avg_neighbors, 1.0);
+  out.max_owned = std::max(in.max_owned, in.avg_owned * (1.0 + share));
+  out.max_edges = std::max(in.max_edges, in.avg_edges * (1.0 + share));
+  // Absorbing a neighbor's vertices merges the shared interface away but
+  // inherits the dead rank's other interfaces: surface terms stay put.
+  return out;
+}
+
+namespace {
+
+// Modeled cost (seconds) of moving one rank's checkpoint payload to or
+// from its buddy: wire transfer plus a memory copy on each side plus a
+// CRC pass on each side. All ranks mirror concurrently, so one transfer
+// is the campaign-level cost of a buddy checkpoint.
+double transfer_cost(const perf::MachineModel& machine, double bytes,
+                     double checksum_bw_fraction) {
+  const double crc_bw = checksum_bw_fraction * machine.mem_bw_mbs * 1e6;
+  return machine.net_latency_us * 1e-6 + bytes / (machine.net_bw_mbs * 1e6) +
+         2.0 * bytes / (machine.mem_bw_mbs * 1e6) + 2.0 * bytes / crc_bw;
+}
+
+}  // namespace
+
+CampaignResult simulate_campaign(const perf::MachineModel& machine,
+                                 const CampaignDomain& domain,
+                                 const WorkCoefficients& work,
+                                 const std::vector<StepCounts>& steps,
+                                 const CampaignOptions& opts) {
+  F3D_CHECK_MSG(opts.injector != nullptr,
+                "simulate_campaign needs a fault injector");
+  F3D_CHECK(!steps.empty());
+  const int nranks = domain.load.procs;
+  F3D_CHECK(nranks >= 1);
+  resilience::InjectorScope scope(opts.injector);
+
+  CampaignResult r;
+  r.rank_alive.assign(static_cast<std::size_t>(nranks), 1);
+  PartitionLoad load = domain.load;
+  part::Partition part = domain.partition;
+  const bool have_mesh =
+      domain.graph != nullptr && part.nparts == nranks &&
+      part.num_vertices() == static_cast<int>(domain.load.total_vertices);
+  int alive = nranks;
+  int spares_left =
+      opts.policy == RecoveryPolicy::kSpareRank ? opts.spare_ranks : 0;
+  const CommReliability* comm = opts.comm ? &*opts.comm : nullptr;
+  const double checksum_frac = comm != nullptr ? comm->checksum_bw_fraction
+                                               : 0.5;
+
+  // Per-rank checkpoint payload: the subdomain's restart image.
+  const double doubles_per_vertex = opts.checkpoint_doubles_per_vertex > 0
+                                        ? opts.checkpoint_doubles_per_vertex
+                                        : work.nb;
+  const double ckpt_bytes = load.max_owned * doubles_per_vertex *
+                            sizeof(double);
+  const double ckpt_cost = transfer_cost(machine, ckpt_bytes, checksum_frac);
+  r.checkpoint_cost_s = ckpt_cost;
+
+  resilience::BuddyStore buddy(nranks);
+  double since_ckpt = 0;  // useful seconds to re-execute after a failure
+
+  auto do_checkpoint = [&](int step) {
+    resilience::PtcCheckpoint ck;
+    ck.step = step;
+    ck.rank_alive = r.rank_alive;
+    ck.spares_used = r.spares_used;
+    ck.last_buddy_checkpoint_step = step;
+    ck.has_injector = true;
+    ck.injector = opts.injector->state();
+    const std::string payload = resilience::encode_checkpoint(ck);
+    for (int rank = 0; rank < nranks; ++rank)
+      if (r.rank_alive[static_cast<std::size_t>(rank)]) buddy.store(rank, payload);
+    r.t_checkpoint += ckpt_cost;
+    r.log.add(step, resilience::RecoveryAction::kBuddyCheckpoint,
+              std::to_string(alive) + " ranks mirrored");
+    since_ckpt = 0;
+  };
+  do_checkpoint(0);
+
+  const int nsteps = static_cast<int>(steps.size());
+  for (int s = 0; s < nsteps; ++s) {
+    StepBreakdown b = model_step(machine, load, work,
+                                 steps[static_cast<std::size_t>(s)], opts.mode,
+                                 comm);
+    since_ckpt += b.total() - b.t_recovery;
+
+    // The fail-stop process: one seeded opportunity per alive rank, in
+    // rank order, so a run is reproducible from the injector seed alone.
+    std::vector<int> failed;
+    for (int rank = 0; rank < nranks; ++rank)
+      if (r.rank_alive[static_cast<std::size_t>(rank)] &&
+          resilience::fault_fires(resilience::FaultSite::kRankFail))
+        failed.push_back(rank);
+
+    if (!failed.empty()) {
+      // All of this step's failures are simultaneous: buddy copies die
+      // before any recovery runs, so losing a rank AND its buddy in one
+      // step hits the diskless double-failure window for real.
+      for (int f : failed) {
+        buddy.fail_rank(f);
+        r.rank_alive[static_cast<std::size_t>(f)] = 0;
+        --alive;
+        ++r.rank_failures;
+        r.log.add(s, resilience::RecoveryAction::kDetectRankFail,
+                  "rank " + std::to_string(f));
+      }
+      if (alive == 0) {
+        r.completed = false;
+        r.log.add(s, resilience::RecoveryAction::kDetectRankFail,
+                  "no surviving rank");
+        r.sim.add_step(b);
+        ++r.steps_executed;
+        break;
+      }
+      double restore = 0;
+      for (int f : failed) {
+        const auto blob = buddy.retrieve(f);
+        std::optional<resilience::PtcCheckpoint> ck;
+        if (blob) ck = resilience::decode_checkpoint(*blob);
+        if (!ck) {
+          r.completed = false;
+          r.log.add(s, resilience::RecoveryAction::kBuddyRestore,
+                    "rank " + std::to_string(f) +
+                        ": state lost (rank and buddy died before re-mirror)");
+          break;
+        }
+        restore += transfer_cost(machine, ckpt_bytes, checksum_frac);
+        r.log.add(s, resilience::RecoveryAction::kBuddyRestore,
+                  "rank " + std::to_string(f) + " from checkpoint at step " +
+                      std::to_string(ck->last_buddy_checkpoint_step));
+        if (spares_left > 0) {
+          buddy.revive_rank(f);
+          r.rank_alive[static_cast<std::size_t>(f)] = 1;
+          ++alive;
+          --spares_left;
+          ++r.spares_used;
+          restore += opts.spare_boot_s;
+          r.log.add(s, resilience::RecoveryAction::kSpareSubstitution,
+                    "rank " + std::to_string(f) + " (" +
+                        std::to_string(spares_left) + " spares left)");
+        } else {
+          ++r.shrink_events;
+          if (have_mesh) {
+            part::RepartitionReport rep;
+            part = part::repartition_after_failure(*domain.graph, part, f,
+                                                   &rep);
+            load = measure_load(*domain.graph, part);
+            load.procs = alive;  // reduction tree spans the survivors
+            r.log.add(s, resilience::RecoveryAction::kShrinkRepartition,
+                      std::to_string(rep.moved_vertices) + " vertices to " +
+                          std::to_string(rep.receiving_parts) +
+                          " parts, imbalance " +
+                          std::to_string(rep.imbalance_after));
+          } else {
+            load = shrink_load(load);
+            r.log.add(s, resilience::RecoveryAction::kShrinkRepartition,
+                      "analytic shrink to " + std::to_string(load.procs) +
+                          " ranks");
+          }
+          restore += opts.repartition_flops_per_vertex *
+                     (load.total_vertices / alive) /
+                     (machine.flux_mflops() * 1e6);
+        }
+      }
+      if (!r.completed) {
+        r.sim.add_step(b);
+        ++r.steps_executed;
+        break;
+      }
+      // Everyone rolls back to the last buddy checkpoint and re-executes
+      // the work since it; then the recovered configuration re-mirrors.
+      b.t_recovery += since_ckpt + restore;
+      r.t_rework += since_ckpt;
+      r.t_restore += restore;
+      r.sim.add_step(b);
+      ++r.steps_executed;
+      do_checkpoint(s);
+      continue;
+    }
+
+    r.sim.add_step(b);
+    ++r.steps_executed;
+    if (opts.checkpoint_interval > 0 &&
+        (s + 1) % opts.checkpoint_interval == 0 && s + 1 < nsteps)
+      do_checkpoint(s + 1);
+  }
+
+  r.sim.finalize(domain.load.procs);
+  r.final_load = load;
+  return r;
+}
+
+double daly_optimal_interval(double checkpoint_cost_s, double mtbf_s) {
+  F3D_CHECK(checkpoint_cost_s >= 0 && mtbf_s > 0);
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+double daly_overhead(double interval_s, double checkpoint_cost_s,
+                     double restart_s, double mtbf_s) {
+  F3D_CHECK(interval_s > 0 && mtbf_s > 0);
+  return checkpoint_cost_s / interval_s +
+         (interval_s / 2.0 + restart_s) / mtbf_s;
+}
+
+}  // namespace f3d::par

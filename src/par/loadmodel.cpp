@@ -11,6 +11,7 @@ namespace f3d::par {
 PartitionLoad measure_load(const mesh::Graph& g, const part::Partition& p) {
   const int n = static_cast<int>(g.ptr.size()) - 1;
   F3D_CHECK(p.num_vertices() == n);
+  F3D_CHECK(p.nparts >= 1);
   const int np = p.nparts;
 
   std::vector<double> owned(np, 0), edges(np, 0);
@@ -44,15 +45,22 @@ PartitionLoad measure_load(const mesh::Graph& g, const part::Partition& p) {
   load.procs = np;
   load.total_vertices = n;
   load.total_edges = total_edges;
+  // Empty parts (P > N, or dead parts after a fail-stop shrink recovery)
+  // model no processor doing work: they are excluded from the averages so
+  // the imbalance statistics describe the processors actually computing.
+  int active = 0;
+  for (int s = 0; s < np; ++s) active += owned[s] > 0 ? 1 : 0;
+  load.active_procs = active;
   auto stats = [&](auto get, double& avg, double& mx) {
     avg = 0;
     mx = 0;
     for (int s = 0; s < np; ++s) {
+      if (owned[s] <= 0) continue;
       const double v = get(s);
       avg += v;
       mx = std::max(mx, v);
     }
-    avg /= np;
+    avg /= std::max(active, 1);
   };
   stats([&](int s) { return owned[s]; }, load.avg_owned, load.max_owned);
   stats([&](int s) { return edges[s]; }, load.avg_edges, load.max_edges);
@@ -67,9 +75,16 @@ SurfaceLaw fit_surface_law(const std::vector<PartitionLoad>& samples) {
   F3D_CHECK(!samples.empty());
   SurfaceLaw law;
   double ghost_c = 0, cut_c = 0, nb = 0, epv = 0, imb_c = 0;
+  int used = 0;
   for (const auto& s : samples) {
     const double v = s.avg_owned;
-    F3D_CHECK(v > 0);
+    // Samples that cannot constrain the surface scaling are skipped: P=1
+    // (every surface quantity identically zero), empty or edgeless
+    // decompositions (degenerate after-failure loads). Every division
+    // below is guarded by this test.
+    if (s.procs < 2 || s.total_vertices <= 0 || v <= 0 || s.avg_edges <= 0)
+      continue;
+    ++used;
     const double surface = std::pow(v, 2.0 / 3.0);
     ghost_c += s.avg_ghosts / surface;
     // Redundant (doubly counted) edges per proc = avg_edges - unique
@@ -85,7 +100,8 @@ SurfaceLaw fit_surface_law(const std::vector<PartitionLoad>& samples) {
     const double ei = (s.max_edges / s.avg_edges - 1.0) * std::cbrt(v);
     imb_c += std::max(vi, ei);
   }
-  const double k = static_cast<double>(samples.size());
+  if (used == 0) return law;  // all-zero law: defined, finite, no NaN
+  const double k = static_cast<double>(used);
   law.ghost_coeff = ghost_c / k;
   law.cut_coeff = cut_c / k;
   law.neighbor_base = nb / k;
@@ -99,6 +115,7 @@ PartitionLoad synthesize_load(double total_vertices, int procs,
   F3D_CHECK(total_vertices > 0 && procs >= 1);
   PartitionLoad load;
   load.procs = procs;
+  load.active_procs = procs;
   load.total_vertices = total_vertices;
   load.total_edges = law.edges_per_vertex * total_vertices;
   const double v = total_vertices / procs;

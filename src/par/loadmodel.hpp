@@ -20,8 +20,14 @@ namespace f3d::par {
 
 struct PartitionLoad {
   int procs = 0;
+  /// Parts that actually own vertices. After a fail-stop shrink recovery
+  /// (part::repartition_after_failure) the dead parts are empty;
+  /// measure_load excludes them from the per-processor averages and
+  /// reports the survivors here. Equals `procs` for healthy partitions.
+  int active_procs = 0;
   double total_vertices = 0;
-  // Per-processor statistics (avg and max capture load imbalance).
+  // Per-processor statistics over non-empty parts (avg and max capture
+  // load imbalance).
   double avg_owned = 0, max_owned = 0;          ///< owned vertices
   double avg_ghosts = 0, max_ghosts = 0;        ///< remote vertices read
   double avg_neighbors = 0, max_neighbors = 0;  ///< distinct peer procs
@@ -32,7 +38,10 @@ struct PartitionLoad {
   double total_edges = 0;  ///< unique mesh edges
 };
 
-/// Measure the real load of a partition.
+/// Measure the real load of a partition. Degenerate inputs are defined:
+/// P = 1 yields zero ghosts/neighbors; P > N (or a post-failure partition
+/// with empty parts) averages over the non-empty parts only; an empty
+/// graph yields an all-zero load.
 PartitionLoad measure_load(const mesh::Graph& g, const part::Partition& p);
 
 /// Power-law fit of per-processor surface quantities against subdomain
@@ -54,6 +63,12 @@ struct SurfaceLaw {
   }
 };
 
+/// Fit the law to measured samples. Samples that cannot constrain the fit
+/// (no vertices, no edges, or zero average load — e.g. a P=1 measurement,
+/// where every surface quantity is identically zero, or a degenerate
+/// post-failure load) are skipped; if no sample is usable the returned
+/// law is all-zero (synthesize_load then yields a zero-communication
+/// load), never NaN. Throws only on an empty sample vector.
 SurfaceLaw fit_surface_law(const std::vector<PartitionLoad>& samples);
 
 /// Synthesize the load of an (N, P) decomposition from the law.

@@ -59,7 +59,7 @@ double model_flux_phase(const perf::MachineModel& machine,
 StepBreakdown model_step(const perf::MachineModel& machine,
                          const PartitionLoad& load,
                          const WorkCoefficients& work, const StepCounts& counts,
-                         NodeMode mode) {
+                         NodeMode mode, const CommReliability* comm) {
   F3D_CHECK(load.procs >= 1);
   StepBreakdown out;
 
@@ -141,6 +141,45 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   out.t_scatter =
       scatters * (msg_lat + wire_time + pack_time) + 0.25 * wait_total;
 
+  // --- lossy interconnect: checksums + retransmit with backoff ---------
+  if (comm != nullptr) {
+    // Checksum tax: one CRC pass over the ghost payload on each side of
+    // every scatter, at a fraction of streaming bandwidth.
+    const double crc_bw =
+        comm->checksum_bw_fraction * machine.mem_bw_mbs * 1e6;
+    out.t_scatter += scatters * 2.0 * ghost_bytes / crc_bw;
+    // One corruption opportunity per communication operation. A fired
+    // message backs off exponentially and resends; each retry draws again
+    // at the same site, so a burst of fires models a noisy link.
+    const double msg_bytes = ghost_bytes / std::max(load.max_neighbors, 1.0);
+    const double msg_resend = machine.net_latency_us * 1e-6 +
+                              msg_bytes / (machine.net_bw_mbs * 1e6) +
+                              2.0 * msg_bytes / crc_bw;
+    const double red_resend = log2ceil(load.procs) *
+                              machine.allreduce_latency_us * 1e-6;
+    auto episode = [&](double resend_cost) {
+      double t = 0;
+      double backoff = comm->backoff0_us * 1e-6;
+      int tries = 0;
+      do {
+        t += backoff + resend_cost;
+        backoff *= 2.0;
+        ++out.retransmits;
+        ++tries;
+      } while (tries < comm->max_retries &&
+               resilience::fault_fires(resilience::FaultSite::kMessage));
+      return t;
+    };
+    const int scatter_ops = static_cast<int>(std::lround(scatters));
+    const int reduce_ops = static_cast<int>(std::lround(reductions));
+    for (int i = 0; i < scatter_ops; ++i)
+      if (resilience::fault_fires(resilience::FaultSite::kMessage))
+        out.t_recovery += episode(msg_resend);
+    for (int i = 0; i < reduce_ops; ++i)
+      if (resilience::fault_fires(resilience::FaultSite::kMessage))
+        out.t_recovery += episode(red_resend);
+  }
+
   out.scatter_bytes_total =
       scatters * load.avg_ghosts * work.nb * sizeof(double) * load.procs;
   const double per_node_bytes =
@@ -159,33 +198,40 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   return out;
 }
 
+void SolveSimulation::add_step(const StepBreakdown& b) {
+  if (b.straggler) ++straggler_steps;
+  step_seconds.push_back(b.total());
+  total_seconds += b.total();
+  aggregate.t_flux += b.t_flux;
+  aggregate.t_sparse += b.t_sparse;
+  aggregate.t_reductions += b.t_reductions;
+  aggregate.t_scatter += b.t_scatter;
+  aggregate.t_implicit_sync += b.t_implicit_sync;
+  aggregate.t_recovery += b.t_recovery;
+  aggregate.retransmits += b.retransmits;
+  aggregate.scatter_bytes_total += b.scatter_bytes_total;
+  aggregate.flops_total += b.flops_total;
+}
+
+void SolveSimulation::finalize(int procs) {
+  aggregate.effective_bw_per_node_mbs =
+      aggregate.t_scatter > 0
+          ? aggregate.scatter_bytes_total / static_cast<double>(procs) /
+                aggregate.t_scatter * 1e-6
+          : 0;
+}
+
 SolveSimulation simulate_solve(const perf::MachineModel& machine,
                                const PartitionLoad& load,
                                const WorkCoefficients& work,
                                const std::vector<StepCounts>& steps,
-                               NodeMode mode) {
+                               NodeMode mode, const CommReliability* comm) {
   F3D_CHECK(!steps.empty());
   SolveSimulation sim;
   sim.step_seconds.reserve(steps.size());
-  for (const auto& counts : steps) {
-    auto b = model_step(machine, load, work, counts, mode);
-    if (b.straggler) ++sim.straggler_steps;
-    sim.step_seconds.push_back(b.total());
-    sim.total_seconds += b.total();
-    sim.aggregate.t_flux += b.t_flux;
-    sim.aggregate.t_sparse += b.t_sparse;
-    sim.aggregate.t_reductions += b.t_reductions;
-    sim.aggregate.t_scatter += b.t_scatter;
-    sim.aggregate.t_implicit_sync += b.t_implicit_sync;
-    sim.aggregate.scatter_bytes_total += b.scatter_bytes_total;
-    sim.aggregate.flops_total += b.flops_total;
-  }
-  sim.aggregate.effective_bw_per_node_mbs =
-      sim.aggregate.t_scatter > 0
-          ? sim.aggregate.scatter_bytes_total /
-                static_cast<double>(load.procs) /
-                sim.aggregate.t_scatter * 1e-6
-          : 0;
+  for (const auto& counts : steps)
+    sim.add_step(model_step(machine, load, work, counts, mode, comm));
+  sim.finalize(load.procs);
   return sim;
 }
 

@@ -41,16 +41,22 @@ struct StepCounts {
   double scatters_per_linear_it = 2;  ///< ghost exchanges per iteration
 };
 
-/// One pseudo-timestep's modeled time, split the way Table 3 splits it.
+/// One pseudo-timestep's modeled time, split the way Table 3 splits it,
+/// plus the availability category the distributed resilience model adds.
 struct StepBreakdown {
   double t_flux = 0;        ///< busy time, flux phase
   double t_sparse = 0;      ///< busy time, memory-bound linear algebra
   double t_reductions = 0;  ///< global reduction latency
   double t_scatter = 0;     ///< ghost exchange wire+latency time
   double t_implicit_sync = 0;  ///< imbalance-induced wait time
+  /// Fault-handling overhead: message retransmits (lossy interconnect
+  /// model) plus, in simulate_campaign, the rework/restore charges of a
+  /// rank failure absorbed during this step.
+  double t_recovery = 0;
 
   [[nodiscard]] double total() const {
-    return t_flux + t_sparse + t_reductions + t_scatter + t_implicit_sync;
+    return t_flux + t_sparse + t_reductions + t_scatter + t_implicit_sync +
+           t_recovery;
   }
   [[nodiscard]] double pct(double part) const {
     return total() > 0 ? 100.0 * part / total() : 0;
@@ -60,6 +66,9 @@ struct StepBreakdown {
   /// the critical-path load was scaled by the injector's magnitude, so the
   /// step shows the imbalance signature of a straggler processor.
   bool straggler = false;
+  /// Messages retransmitted this step (FaultSite::kMessage fires under an
+  /// armed CommReliability model); their latency is in t_recovery.
+  int retransmits = 0;
 
   double scatter_bytes_total = 0;  ///< data moved per step, all procs
   /// "Application level effective bandwidth per node" (Table 3's last
@@ -78,12 +87,28 @@ enum class NodeMode {
   kHybridOmp2, ///< 1 rank per node, 2 OpenMP threads in the flux phase
 };
 
+/// Reliability model of the interconnect: every halo-exchange and
+/// reduction message carries a CRC (a per-message checksum tax on both
+/// sides); a corrupted message — one FaultSite::kMessage opportunity per
+/// scatter/reduction operation — is detected on receive and
+/// retransmitted after an exponential backoff, each retry drawing again
+/// at the same site until it passes or `max_retries` is spent. The retry
+/// latency is charged to StepBreakdown::t_recovery.
+struct CommReliability {
+  double checksum_bw_fraction = 0.5;  ///< CRC pass speed vs. memory bw
+  double backoff0_us = 50.0;          ///< first retransmit backoff
+  int max_retries = 4;                ///< per message; all attempts charged
+};
+
 /// Model one pseudo-timestep. `load.procs` is the number of MPI ranks
-/// (for kMpi2 that is 2x the node count).
+/// (for kMpi2 that is 2x the node count). A non-null `comm` enables the
+/// lossy-interconnect model (messages only corrupt when an injector arms
+/// FaultSite::kMessage; the checksum tax applies regardless).
 StepBreakdown model_step(const perf::MachineModel& machine,
                          const PartitionLoad& load,
                          const WorkCoefficients& work, const StepCounts& counts,
-                         NodeMode mode = NodeMode::kMpi1);
+                         NodeMode mode = NodeMode::kMpi1,
+                         const CommReliability* comm = nullptr);
 
 /// Model only the flux (function-evaluation) phase — Table 5's object.
 double model_flux_phase(const perf::MachineModel& machine,
@@ -99,12 +124,19 @@ struct SolveSimulation {
   std::vector<double> step_seconds;
   StepBreakdown aggregate;  ///< phase times summed over steps
   int straggler_steps = 0;  ///< steps stretched by an injected slow rank
+
+  /// Fold one modeled step into the totals (used by simulate_solve and by
+  /// the campaign driver, whose load changes between steps).
+  void add_step(const StepBreakdown& b);
+  /// Recompute the aggregate effective bandwidth for `procs` processors.
+  void finalize(int procs);
 };
 SolveSimulation simulate_solve(const perf::MachineModel& machine,
                                const PartitionLoad& load,
                                const WorkCoefficients& work,
                                const std::vector<StepCounts>& steps,
-                               NodeMode mode = NodeMode::kMpi1);
+                               NodeMode mode = NodeMode::kMpi1,
+                               const CommReliability* comm = nullptr);
 
 /// The paper's efficiency decomposition (Table 3):
 ///   eta_overall = (T0 * P0) / (T * P),  eta_alg = its0 / its,

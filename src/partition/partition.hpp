@@ -66,4 +66,26 @@ struct CommStats {
 };
 CommStats comm_stats(const mesh::Graph& g, const Partition& p);
 
+/// What an incremental shrink recovery did to the decomposition.
+struct RepartitionReport {
+  int moved_vertices = 0;    ///< vertices reassigned off the dead part
+  int receiving_parts = 0;   ///< distinct surviving parts that absorbed them
+  int fallback_vertices = 0; ///< islands with no surviving neighbor part
+  /// max part size / ideal size over *non-empty* parts.
+  double imbalance_before = 0, imbalance_after = 0;
+};
+
+/// Incremental shrink-and-repartition after a fail-stop loss of
+/// `dead_part`: every one of its vertices is handed to an adjacent
+/// surviving part (smallest-receiver-first, wavefront order, so interior
+/// vertices follow their already-moved neighbors); vertices in islands
+/// with no surviving neighbor go to the globally smallest non-empty
+/// surviving part. The partition keeps its `nparts` — the dead part is
+/// simply left empty (par::measure_load excludes empty parts from its
+/// per-processor averages), so part ids stay stable across repeated
+/// failures. Throws if no non-empty surviving part exists.
+Partition repartition_after_failure(const mesh::Graph& g, const Partition& p,
+                                    int dead_part,
+                                    RepartitionReport* report = nullptr);
+
 }  // namespace f3d::part

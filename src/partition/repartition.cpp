@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "partition/partition.hpp"
+
+namespace f3d::part {
+
+namespace {
+
+double imbalance_over_nonempty(const std::vector<int>& size, double total) {
+  int active = 0, mx = 0;
+  for (int s : size) {
+    if (s > 0) ++active;
+    mx = std::max(mx, s);
+  }
+  if (active == 0 || total <= 0) return 0;
+  return static_cast<double>(mx) / (total / active);
+}
+
+}  // namespace
+
+Partition repartition_after_failure(const mesh::Graph& g, const Partition& p,
+                                    int dead_part, RepartitionReport* report) {
+  const int n = static_cast<int>(g.ptr.size()) - 1;
+  F3D_CHECK(p.num_vertices() == n);
+  F3D_CHECK(dead_part >= 0 && dead_part < p.nparts);
+
+  Partition out = p;
+  std::vector<int> size(static_cast<std::size_t>(p.nparts), 0);
+  for (int v = 0; v < n; ++v) ++size[static_cast<std::size_t>(p.part[v])];
+
+  RepartitionReport rep;
+  rep.imbalance_before = imbalance_over_nonempty(size, n);
+
+  std::vector<int> dead_vertices;
+  for (int v = 0; v < n; ++v)
+    if (p.part[v] == dead_part) dead_vertices.push_back(v);
+  rep.moved_vertices = static_cast<int>(dead_vertices.size());
+  size[static_cast<std::size_t>(dead_part)] = 0;
+
+  // Receivers must be able to actually hold state: non-empty survivors.
+  // (An empty part is indistinguishable from a previously failed one.)
+  auto smallest_survivor = [&]() {
+    int best = -1;
+    for (int s = 0; s < out.nparts; ++s) {
+      if (s == dead_part || size[static_cast<std::size_t>(s)] == 0) continue;
+      if (best < 0 ||
+          size[static_cast<std::size_t>(s)] < size[static_cast<std::size_t>(best)])
+        best = s;
+    }
+    return best;
+  };
+  F3D_CHECK_MSG(dead_vertices.empty() || smallest_survivor() >= 0,
+                "no surviving part to absorb the dead subdomain");
+
+  std::set<int> receivers;
+  // Wavefront passes: each pass reassigns every dead vertex that touches a
+  // surviving (or already-reassigned) part, preferring the smallest
+  // receiver so the absorbed load spreads across the neighbors.
+  std::vector<int> pending = dead_vertices;
+  while (!pending.empty()) {
+    std::vector<int> still_pending;
+    bool progress = false;
+    for (int v : pending) {
+      int best = -1;
+      for (int e = g.ptr[v]; e < g.ptr[v + 1]; ++e) {
+        const int pw = out.part[g.adj[e]];
+        if (pw == dead_part) continue;
+        if (best < 0 || size[static_cast<std::size_t>(pw)] <
+                            size[static_cast<std::size_t>(best)] ||
+            (size[static_cast<std::size_t>(pw)] ==
+                 size[static_cast<std::size_t>(best)] &&
+             pw < best))
+          best = pw;
+      }
+      if (best < 0) {
+        still_pending.push_back(v);
+        continue;
+      }
+      out.part[v] = best;
+      ++size[static_cast<std::size_t>(best)];
+      receivers.insert(best);
+      progress = true;
+    }
+    if (!progress) {
+      // Islands entirely inside the dead part (or isolated vertices): no
+      // surviving neighbor exists, so balance them onto the smallest part.
+      for (int v : still_pending) {
+        const int best = smallest_survivor();
+        out.part[v] = best;
+        ++size[static_cast<std::size_t>(best)];
+        receivers.insert(best);
+        ++rep.fallback_vertices;
+      }
+      still_pending.clear();
+    }
+    pending = std::move(still_pending);
+  }
+
+  rep.receiving_parts = static_cast<int>(receivers.size());
+  rep.imbalance_after = imbalance_over_nonempty(size, n);
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+}  // namespace f3d::part

@@ -4,13 +4,18 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/crc32.hpp"
+
 namespace f3d::resilience {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', '3', 'D', 'C', 'K', 'P', 'T', '2'};
+// Magic is version-free; the version is a field so a mismatch is
+// distinguishable from "not a checkpoint at all".
+constexpr char kMagic[8] = {'F', '3', 'D', 'C', 'K', 'P', 'T', 'v'};
 
 void put_bytes(std::string& buf, const void* p, std::size_t n) {
+  if (n == 0) return;  // empty vectors hand over a null data()
   buf.append(static_cast<const char*>(p), n);
 }
 template <class T>
@@ -29,7 +34,7 @@ struct Reader {
 
   bool take(void* out, std::size_t n) {
     if (!ok || static_cast<std::size_t>(end - p) < n) return ok = false;
-    std::memcpy(out, p, n);
+    if (n > 0) std::memcpy(out, p, n);  // out may be a null data() at n=0
     p += n;
     return true;
   }
@@ -49,12 +54,9 @@ struct Reader {
   }
 };
 
-}  // namespace
-
-bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck) {
+std::string encode_payload(const PtcCheckpoint& ck) {
   std::string buf;
-  buf.reserve(64 + ck.x.size() * sizeof(double));
-  put_bytes(buf, kMagic, sizeof(kMagic));
+  buf.reserve(128 + ck.x.size() * sizeof(double) + ck.rank_alive.size());
   put<std::int64_t>(buf, ck.step);
   put<std::int64_t>(buf, ck.steps_done);
   put<std::int64_t>(buf, static_cast<std::int64_t>(ck.x.size()));
@@ -69,11 +71,17 @@ bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck) {
   put<std::int8_t>(buf, ck.has_injector ? 1 : 0);
   if (ck.has_injector) {
     put(buf, ck.injector.seed);
+    put<std::int32_t>(buf, kNumFaultSites);
     for (int i = 0; i < kNumFaultSites; ++i) {
       put(buf, ck.injector.draws[static_cast<std::size_t>(i)]);
       put(buf, ck.injector.fires[static_cast<std::size_t>(i)]);
+      put(buf, ck.injector.magnitudes[static_cast<std::size_t>(i)]);
     }
   }
+  put<std::int64_t>(buf, static_cast<std::int64_t>(ck.rank_alive.size()));
+  put_bytes(buf, ck.rank_alive.data(), ck.rank_alive.size());
+  put(buf, ck.spares_used);
+  put(buf, ck.last_buddy_checkpoint_step);
   const auto& events = ck.log.events();
   put<std::int64_t>(buf, static_cast<std::int64_t>(events.size()));
   for (const auto& e : events) {
@@ -81,29 +89,10 @@ bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck) {
     put<std::int32_t>(buf, static_cast<std::int32_t>(e.action));
     put_string(buf, e.detail);
   }
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!out) return false;
-  }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  return buf;
 }
 
-std::optional<PtcCheckpoint> load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string buf((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
-  Reader rd{buf.data(), buf.data() + buf.size()};
-
-  char magic[sizeof(kMagic)];
-  if (!rd.take(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    return std::nullopt;
-
+std::optional<PtcCheckpoint> decode_payload(Reader& rd) {
   PtcCheckpoint ck;
   ck.step = rd.get<std::int64_t>();
   ck.steps_done = rd.get<std::int64_t>();
@@ -121,11 +110,21 @@ std::optional<PtcCheckpoint> load_checkpoint(const std::string& path) {
   ck.has_injector = rd.get<std::int8_t>() != 0;
   if (ck.has_injector) {
     ck.injector.seed = rd.get<std::uint64_t>();
+    // A checkpoint from a build with a different site set cannot replay
+    // the same draw streams: reject rather than resume divergently.
+    if (rd.get<std::int32_t>() != kNumFaultSites) return std::nullopt;
     for (int i = 0; i < kNumFaultSites; ++i) {
       ck.injector.draws[static_cast<std::size_t>(i)] = rd.get<int>();
       ck.injector.fires[static_cast<std::size_t>(i)] = rd.get<int>();
+      ck.injector.magnitudes[static_cast<std::size_t>(i)] = rd.get<double>();
     }
   }
+  const auto nranks = rd.get<std::int64_t>();
+  if (!rd.ok || nranks < 0) return std::nullopt;
+  ck.rank_alive.resize(static_cast<std::size_t>(nranks));
+  rd.take(ck.rank_alive.data(), ck.rank_alive.size());
+  ck.spares_used = rd.get<std::int32_t>();
+  ck.last_buddy_checkpoint_step = rd.get<std::int64_t>();
   const auto nev = rd.get<std::int64_t>();
   if (!rd.ok || nev < 0) return std::nullopt;
   for (std::int64_t i = 0; i < nev; ++i) {
@@ -137,6 +136,58 @@ std::optional<PtcCheckpoint> load_checkpoint(const std::string& path) {
   }
   if (!rd.ok) return std::nullopt;
   return ck;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const PtcCheckpoint& ck) {
+  const std::string payload = encode_payload(ck);
+  std::string buf;
+  buf.reserve(sizeof(kMagic) + 16 + payload.size());
+  put_bytes(buf, kMagic, sizeof(kMagic));
+  put<std::uint32_t>(buf, kCheckpointFormatVersion);
+  put<std::uint32_t>(buf, crc32(payload.data(), payload.size()));
+  put<std::int64_t>(buf, static_cast<std::int64_t>(payload.size()));
+  buf += payload;
+  return buf;
+}
+
+std::optional<PtcCheckpoint> decode_checkpoint(const std::string& bytes) {
+  Reader rd{bytes.data(), bytes.data() + bytes.size()};
+  char magic[sizeof(kMagic)];
+  if (!rd.take(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return std::nullopt;
+  if (rd.get<std::uint32_t>() != kCheckpointFormatVersion) return std::nullopt;
+  const std::uint32_t crc = rd.get<std::uint32_t>();
+  const auto payload_size = rd.get<std::int64_t>();
+  if (!rd.ok || payload_size < 0 ||
+      static_cast<std::size_t>(rd.end - rd.p) !=
+          static_cast<std::size_t>(payload_size))
+    return std::nullopt;
+  if (crc32(rd.p, static_cast<std::size_t>(payload_size)) != crc)
+    return std::nullopt;
+  return decode_payload(rd);
+}
+
+bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck) {
+  const std::string buf = encode_checkpoint(ck);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<PtcCheckpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return decode_checkpoint(buf);
 }
 
 }  // namespace f3d::resilience

@@ -3,9 +3,17 @@
 // loop needs to resume a killed run bit-identically — the state vector
 // (raw IEEE-754 bytes, no text round-trip), the continuation state (step
 // index, residual norms, CFL relaxation), the escalation state of the
-// recovery ladder, the fault injector's stream position, and the recovery
-// log so far. Writes are atomic (temp file + rename) so a kill during a
-// checkpoint leaves the previous one intact.
+// recovery ladder, the fault injector's stream position (including the
+// per-rank fail-stop process of the distributed campaign), and the
+// recovery log so far. Writes are atomic (temp file + rename) so a kill
+// during a checkpoint leaves the previous one intact.
+//
+// Format (version 3): an 8-byte magic, a little-endian format version, a
+// CRC32 over the payload, and the payload length — so a truncated or
+// bit-flipped checkpoint is rejected with nullopt instead of being
+// deserialized into garbage. encode/decode expose the same format as an
+// in-memory byte string for the diskless buddy checkpointing of
+// resilience/buddy.hpp.
 
 #include <cstdint>
 #include <optional>
@@ -36,17 +44,39 @@ struct PtcCheckpoint {
   std::int32_t gmres_restart = 0;  ///< escalated restart length (0 = unset)
   std::int32_t krylov = 0;         ///< active Krylov method (PtcOptions::Krylov)
 
-  // Fault injector stream position (reproducible campaigns).
+  // Fault injector stream position (reproducible campaigns). The state
+  // carries every site's draw/fire counts and armed magnitude — including
+  // the kRank straggler severity and the kRankFail per-rank process — so
+  // kill/resume with parallel faults armed stays bit-identical.
   bool has_injector = false;
   FaultInjector::State injector;
+
+  // Distributed campaign state (par::simulate_campaign); empty/default
+  // when the virtual parallel machine is not in use.
+  std::vector<std::uint8_t> rank_alive;  ///< per-rank alive flags
+  std::int32_t spares_used = 0;          ///< spare-pool consumption so far
+  std::int64_t last_buddy_checkpoint_step = -1;
 
   RecoveryLog log;
 };
 
+/// Current on-disk/in-memory format version (see header comment).
+inline constexpr std::uint32_t kCheckpointFormatVersion = 3;
+
+/// Serialize to a self-validating byte string (magic + version + CRC32 +
+/// payload) — the exact bytes save_checkpoint writes to disk.
+std::string encode_checkpoint(const PtcCheckpoint& ck);
+
+/// Inverse of encode_checkpoint. Returns nullopt if the bytes are not a
+/// checkpoint, are a different format version, are truncated, or fail the
+/// CRC — corruption is always rejected, never deserialized.
+std::optional<PtcCheckpoint> decode_checkpoint(const std::string& bytes);
+
 /// Serialize to `path` atomically; returns false on any I/O failure.
 bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck);
 
-/// Returns nullopt if the file is missing, truncated, or not a checkpoint.
+/// Returns nullopt if the file is missing, truncated, corrupt (CRC
+/// mismatch), or not a checkpoint of the current format version.
 std::optional<PtcCheckpoint> load_checkpoint(const std::string& path);
 
 }  // namespace f3d::resilience

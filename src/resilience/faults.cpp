@@ -32,6 +32,8 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kGmres: return "gmres-stagnation";
     case FaultSite::kBicgstab: return "bicgstab-breakdown";
     case FaultSite::kRank: return "rank-straggler";
+    case FaultSite::kRankFail: return "rank-failstop";
+    case FaultSite::kMessage: return "message-corrupt";
   }
   return "unknown";
 }
@@ -88,6 +90,8 @@ FaultInjector::State FaultInjector::state() const {
   for (int i = 0; i < kNumFaultSites; ++i) {
     st.draws[static_cast<std::size_t>(i)] = sites_[static_cast<std::size_t>(i)].draws;
     st.fires[static_cast<std::size_t>(i)] = sites_[static_cast<std::size_t>(i)].fires;
+    st.magnitudes[static_cast<std::size_t>(i)] =
+        sites_[static_cast<std::size_t>(i)].plan.magnitude;
   }
   return st;
 }
@@ -99,6 +103,7 @@ void FaultInjector::restore(const State& st) {
     reseed_site(i);
     s.draws = st.draws[static_cast<std::size_t>(i)];
     s.fires = st.fires[static_cast<std::size_t>(i)];
+    s.plan.magnitude = st.magnitudes[static_cast<std::size_t>(i)];
     // One uniform per historical draw (see should_fire).
     for (int d = 0; d < s.draws; ++d) s.rng.uniform();
   }

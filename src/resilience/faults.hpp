@@ -28,8 +28,10 @@ enum class FaultSite : int {
   kGmres = 2,        ///< wiped Arnoldi direction (forced GMRES stagnation)
   kBicgstab = 3,     ///< forced BiCGStab rho/omega breakdown
   kRank = 4,         ///< simulated slow/failed rank in par::stepmodel
+  kRankFail = 5,     ///< fail-stop rank loss in the distributed campaign
+  kMessage = 6,      ///< corrupted halo-exchange / reduction message
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 7;
 
 [[nodiscard]] const char* fault_site_name(FaultSite site);
 
@@ -62,14 +64,20 @@ public:
 
   /// Serializable position in every site's deterministic draw stream.
   /// Plans are configuration, not state: a restored injector must be
-  /// re-armed with the same plans (the campaign driver owns those).
+  /// re-armed with the same plans (the campaign driver owns those). The
+  /// one exception is the per-site `magnitude` (e.g. the kRank slowdown
+  /// factor), which is carried in the state so a kill/resume with
+  /// parallel faults armed replays bit-identically even if the resuming
+  /// driver armed a different severity.
   struct State {
     std::uint64_t seed = 0;
     std::array<int, kNumFaultSites> draws{};
     std::array<int, kNumFaultSites> fires{};
+    std::array<double, kNumFaultSites> magnitudes{};
   };
   [[nodiscard]] State state() const;
-  /// Rebuild the PRNG streams and fast-forward them to `s`.
+  /// Rebuild the PRNG streams and fast-forward them to `s`; re-applies
+  /// the serialized per-site magnitudes onto the armed plans.
   void restore(const State& s);
 
 private:

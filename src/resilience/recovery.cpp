@@ -18,6 +18,11 @@ const char* recovery_action_name(RecoveryAction action) {
     case RecoveryAction::kCoarseDisabled: return "coarse-disabled";
     case RecoveryAction::kCheckpointWrite: return "checkpoint-write";
     case RecoveryAction::kResume: return "resume";
+    case RecoveryAction::kDetectRankFail: return "detect-rank-fail";
+    case RecoveryAction::kSpareSubstitution: return "spare-substitution";
+    case RecoveryAction::kShrinkRepartition: return "shrink-repartition";
+    case RecoveryAction::kBuddyCheckpoint: return "buddy-checkpoint";
+    case RecoveryAction::kBuddyRestore: return "buddy-restore";
   }
   return "unknown";
 }

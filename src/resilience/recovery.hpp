@@ -25,6 +25,13 @@ enum class RecoveryAction : int {
   kCoarseDisabled,         ///< singular coarse operator dropped for this refresh
   kCheckpointWrite,        ///< PTC state serialized to disk
   kResume,                 ///< PTC state restored from a checkpoint
+  // Distributed campaign events (par::simulate_campaign). Appended at the
+  // end: the enum value is serialized as an integer in checkpoints.
+  kDetectRankFail,         ///< fail-stop rank loss observed
+  kSpareSubstitution,      ///< dead rank replaced from the spare pool
+  kShrinkRepartition,      ///< dead rank's vertices reassigned to survivors
+  kBuddyCheckpoint,        ///< diskless neighbor checkpoint written
+  kBuddyRestore,           ///< state recovered from a buddy copy
 };
 
 [[nodiscard]] const char* recovery_action_name(RecoveryAction action);

@@ -1,0 +1,474 @@
+// Tests for the distributed resilience layer: incremental shrink
+// repartitioning, buddy (diskless neighbor) checkpointing, the lossy
+// interconnect model, the fail-stop campaign simulator under both
+// recovery policies, and the Young/Daly availability model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/graph.hpp"
+#include "par/distres.hpp"
+#include "par/loadmodel.hpp"
+#include "par/stepmodel.hpp"
+#include "partition/partition.hpp"
+#include "perf/machine.hpp"
+#include "resilience/buddy.hpp"
+#include "resilience/faults.hpp"
+
+namespace {
+
+using namespace f3d;
+using namespace f3d::resilience;
+
+mesh::Graph wing_graph() {
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = 12, .ny = 7, .nz = 7});
+  return mesh::build_graph(m.num_vertices(), m.edges());
+}
+
+// Arm kRankFail so that exactly the draws [first_draw, first_draw+count)
+// fire — with P draws per step (one per alive rank, rank order), draw
+// s*P + r is rank r at step s.
+void arm_rank_fail_at(FaultInjector& inj, int first_draw, int count = 1) {
+  FaultPlan plan;
+  plan.fire_every = 1;
+  plan.skip_first = first_draw;
+  plan.max_fires = count;
+  inj.arm(FaultSite::kRankFail, plan);
+}
+
+par::WorkCoefficients test_work() {
+  par::WorkCoefficients work;
+  work.sparse_bytes_per_vertex_it = 1200;
+  work.sparse_flops_per_vertex_it = 300;
+  return work;
+}
+
+// --- incremental repartitioning ------------------------------------------
+
+TEST(Repartition, DeadPartEmptiesAndSurvivorsAbsorb) {
+  auto g = wing_graph();
+  auto p = part::kway_grow(g, 8);
+  const int dead = 3;
+  int dead_size = 0;
+  for (int v = 0; v < p.num_vertices(); ++v)
+    if (p.part[v] == dead) ++dead_size;
+  ASSERT_GT(dead_size, 0);
+
+  part::RepartitionReport rep;
+  auto q = part::repartition_after_failure(g, p, dead, &rep);
+  EXPECT_EQ(q.nparts, p.nparts);  // part ids stay stable
+  EXPECT_EQ(q.num_vertices(), p.num_vertices());
+  EXPECT_EQ(rep.moved_vertices, dead_size);
+  EXPECT_GE(rep.receiving_parts, 1);
+  for (int v = 0; v < q.num_vertices(); ++v) {
+    EXPECT_NE(q.part[v], dead);
+    // Only dead-part vertices moved.
+    if (p.part[v] != dead) {
+      EXPECT_EQ(q.part[v], p.part[v]);
+    }
+  }
+  EXPECT_GE(rep.imbalance_after, 1.0);
+  // Absorbing a subdomain into its neighbors cannot improve balance.
+  EXPECT_GE(rep.imbalance_after, rep.imbalance_before - 1e-12);
+}
+
+TEST(Repartition, RepeatedFailuresDownToOnePart) {
+  auto g = wing_graph();
+  auto p = part::kway_grow(g, 4);
+  for (int dead = 0; dead < 3; ++dead)
+    p = part::repartition_after_failure(g, p, dead);
+  for (int v = 0; v < p.num_vertices(); ++v) EXPECT_EQ(p.part[v], 3);
+  // Killing the last non-empty part has nowhere to put the vertices.
+  EXPECT_THROW(part::repartition_after_failure(g, p, 3), Error);
+}
+
+TEST(Repartition, MeasuredLoadExcludesTheDeadPart) {
+  auto g = wing_graph();
+  auto p = part::kway_grow(g, 8);
+  auto before = par::measure_load(g, p);
+  auto q = part::repartition_after_failure(g, p, 0);
+  auto after = par::measure_load(g, q);
+  EXPECT_EQ(after.procs, 8);
+  EXPECT_EQ(after.active_procs, 7);
+  // Same vertices over fewer workers: the per-worker average rises.
+  EXPECT_GT(after.avg_owned, before.avg_owned);
+  EXPECT_NEAR(after.avg_owned * 7, before.total_vertices, 1e-9);
+}
+
+// --- buddy checkpointing --------------------------------------------------
+
+TEST(Buddy, StoreMirrorsToNextAliveRank) {
+  BuddyStore store(4);
+  EXPECT_EQ(store.buddy_of(1), 2);
+  EXPECT_EQ(store.buddy_of(3), 0);  // ring wrap
+  EXPECT_TRUE(store.store(1, "payload-one"));
+  EXPECT_EQ(store.copies(1), 2);
+  ASSERT_TRUE(store.retrieve(1).has_value());
+  EXPECT_EQ(*store.retrieve(1), "payload-one");
+}
+
+TEST(Buddy, OwnerFailureRecoversFromBuddyCopy) {
+  BuddyStore store(4);
+  store.store(2, "state-of-two");
+  store.fail_rank(2);
+  EXPECT_FALSE(store.alive(2));
+  EXPECT_EQ(store.copies(2), 1);  // the copy on rank 3 survives
+  ASSERT_TRUE(store.retrieve(2).has_value());
+  EXPECT_EQ(*store.retrieve(2), "state-of-two");
+}
+
+TEST(Buddy, DoubleFailureLosesState) {
+  BuddyStore store(4);
+  store.store(2, "state-of-two");
+  store.fail_rank(3);  // the buddy holding 2's mirror
+  store.fail_rank(2);
+  EXPECT_EQ(store.copies(2), 0);
+  EXPECT_FALSE(store.retrieve(2).has_value());
+}
+
+TEST(Buddy, BuddyOfSkipsDeadRanksAndReviveRestores) {
+  BuddyStore store(4);
+  store.fail_rank(2);
+  EXPECT_EQ(store.buddy_of(1), 3);  // dead rank skipped on the ring
+  store.revive_rank(2);
+  EXPECT_EQ(store.buddy_of(1), 2);
+  EXPECT_EQ(store.copies(2), 0);  // revived slot holds no data yet
+  BuddyStore lone(1);
+  EXPECT_EQ(lone.buddy_of(0), -1);
+  EXPECT_FALSE(lone.store(0, "x"));  // no buddy: mirror refused
+  EXPECT_EQ(lone.copies(0), 1);      // but the local copy is kept
+}
+
+TEST(Buddy, CorruptedCopyIsRejectedByCrc) {
+  BuddyStore store(4);
+  store.store(1, "precious-state");
+  // Flip one byte of the local copy: retrieve must fall through to the
+  // intact buddy copy.
+  std::string* local = store.frame_for_test(1, 1);
+  ASSERT_NE(local, nullptr);
+  (*local)[local->size() / 2] ^= 0x40;
+  ASSERT_TRUE(store.retrieve(1).has_value());
+  EXPECT_EQ(*store.retrieve(1), "precious-state");
+  // Corrupt the buddy copy too: nothing valid remains.
+  std::string* remote = store.frame_for_test(1, 2);
+  ASSERT_NE(remote, nullptr);
+  (*remote)[remote->size() / 2] ^= 0x40;
+  EXPECT_FALSE(store.retrieve(1).has_value());
+}
+
+// --- lossy interconnect in the step model ---------------------------------
+
+TEST(LossyComm, CorruptedMessagesChargeRecoveryTime) {
+  auto g = wing_graph();
+  auto load = par::measure_load(g, part::kway_grow(g, 8));
+  const auto work = test_work();
+  const auto machine = perf::asci_red();
+  const par::StepCounts counts;
+  par::CommReliability comm;
+
+  // Checksum tax applies even on a clean network.
+  const auto clean = par::model_step(machine, load, work, counts);
+  const auto framed =
+      par::model_step(machine, load, work, counts, par::NodeMode::kMpi1,
+                      &comm);
+  EXPECT_GT(framed.t_scatter, clean.t_scatter);
+  EXPECT_EQ(framed.retransmits, 0);
+  EXPECT_EQ(framed.t_recovery, 0.0);
+
+  // A noisy link retransmits; the retry latency lands in t_recovery.
+  FaultInjector inj(99);
+  FaultPlan plan;
+  plan.probability = 0.3;
+  inj.arm(FaultSite::kMessage, plan);
+  InjectorScope scope(&inj);
+  const auto noisy =
+      par::model_step(machine, load, work, counts, par::NodeMode::kMpi1,
+                      &comm);
+  EXPECT_GT(noisy.retransmits, 0);
+  EXPECT_GT(noisy.t_recovery, 0.0);
+  EXPECT_GT(noisy.total(), framed.total());
+}
+
+TEST(LossyComm, ReplayIsBitIdenticalFromSeed) {
+  auto g = wing_graph();
+  auto load = par::measure_load(g, part::kway_grow(g, 8));
+  const auto work = test_work();
+  const auto machine = perf::asci_red();
+  par::CommReliability comm;
+  FaultPlan plan;
+  plan.probability = 0.3;
+
+  auto run = [&] {
+    FaultInjector inj(1234);
+    inj.arm(FaultSite::kMessage, plan);
+    InjectorScope scope(&inj);
+    return par::model_step(machine, load, work, par::StepCounts{},
+                           par::NodeMode::kMpi1, &comm);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.t_recovery, b.t_recovery);  // bitwise
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}
+
+// --- the fail-stop campaign ----------------------------------------------
+
+struct CampaignRig {
+  mesh::Graph g = wing_graph();
+  par::CampaignDomain domain;
+  par::WorkCoefficients work = test_work();
+  perf::MachineModel machine = perf::asci_red();
+  std::vector<par::StepCounts> steps;
+  static constexpr int kRanks = 8;
+
+  CampaignRig() : steps(20) {
+    domain = par::make_domain(g, part::kway_grow(g, kRanks));
+  }
+
+  par::CampaignResult run(par::RecoveryPolicy policy, int first_draw,
+                          int fail_count = 1) {
+    FaultInjector inj(5);
+    arm_rank_fail_at(inj, first_draw, fail_count);
+    par::CampaignOptions o;
+    o.policy = policy;
+    o.spare_ranks = 4;
+    o.checkpoint_interval = 5;
+    o.injector = &inj;
+    return par::simulate_campaign(machine, domain, work, steps, o);
+  }
+};
+
+TEST(Campaign, SpareSubstitutionAbsorbsAFailure) {
+  CampaignRig rig;
+  // Rank 2 dies in step 3.
+  const auto r = rig.run(par::RecoveryPolicy::kSpareRank,
+                         3 * CampaignRig::kRanks + 2);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps_executed, 20);
+  EXPECT_EQ(r.rank_failures, 1);
+  EXPECT_EQ(r.spares_used, 1);
+  EXPECT_EQ(r.shrink_events, 0);
+  EXPECT_GT(r.sim.aggregate.t_recovery, 0.0);
+  EXPECT_GT(r.t_rework, 0.0);
+  EXPECT_GT(r.t_restore, 0.0);
+  // The spare restores the full decomposition.
+  EXPECT_TRUE(r.rank_alive[2]);
+  EXPECT_EQ(r.final_load.active_procs, CampaignRig::kRanks);
+  EXPECT_EQ(r.log.count(RecoveryAction::kDetectRankFail), 1);
+  EXPECT_EQ(r.log.count(RecoveryAction::kSpareSubstitution), 1);
+  EXPECT_GT(r.log.count(RecoveryAction::kBuddyCheckpoint), 1);
+  EXPECT_GT(r.availability(), 0.0);
+  EXPECT_LT(r.availability(), 1.0);
+}
+
+TEST(Campaign, ShrinkRepartitionAbsorbsAFailure) {
+  CampaignRig rig;
+  const auto r = rig.run(par::RecoveryPolicy::kShrinkRepartition,
+                         3 * CampaignRig::kRanks + 2);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps_executed, 20);
+  EXPECT_EQ(r.rank_failures, 1);
+  EXPECT_EQ(r.spares_used, 0);
+  EXPECT_EQ(r.shrink_events, 1);
+  EXPECT_GT(r.sim.aggregate.t_recovery, 0.0);
+  EXPECT_FALSE(r.rank_alive[2]);
+  EXPECT_EQ(r.final_load.active_procs, CampaignRig::kRanks - 1);
+  EXPECT_EQ(r.log.count(RecoveryAction::kShrinkRepartition), 1);
+}
+
+// Satellite check: both policies ride out the same seeded failure, and
+// the shrink campaign pays for it with more imbalance wait (implicit
+// synchronization) than the spare campaign, whose decomposition never
+// degrades.
+TEST(Campaign, PoliciesAgreeOnTheFaultButDifferInImbalance) {
+  CampaignRig rig;
+  const int at = 3 * CampaignRig::kRanks + 2;
+  const auto spare = rig.run(par::RecoveryPolicy::kSpareRank, at);
+  const auto shrink = rig.run(par::RecoveryPolicy::kShrinkRepartition, at);
+  ASSERT_TRUE(spare.completed);
+  ASSERT_TRUE(shrink.completed);
+  // Same failure observed under both policies.
+  EXPECT_EQ(spare.rank_failures, shrink.rank_failures);
+  EXPECT_EQ(spare.log.events()[2].step, shrink.log.events()[2].step);
+  EXPECT_GT(shrink.sim.aggregate.t_implicit_sync,
+            spare.sim.aggregate.t_implicit_sync);
+  // Fewer workers on the same mesh: the shrink campaign's busy phases
+  // stretch too.
+  EXPECT_GT(shrink.sim.aggregate.t_flux, spare.sim.aggregate.t_flux);
+}
+
+TEST(Campaign, ReplayIsBitIdenticalFromSeed) {
+  CampaignRig rig;
+  auto run = [&] {
+    FaultInjector inj(42);
+    FaultPlan plan;
+    plan.probability = 1.0 / 15.0;  // a busy campaign: several failures
+    inj.arm(FaultSite::kRankFail, plan);
+    par::CampaignOptions o;
+    o.policy = par::RecoveryPolicy::kSpareRank;
+    o.spare_ranks = 2;  // exhausts and falls back to shrinking
+    o.checkpoint_interval = 4;
+    o.injector = &inj;
+    return par::simulate_campaign(rig.machine, rig.domain, rig.work,
+                                  rig.steps, o);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_GT(a.rank_failures, 2);  // the seed produces spare exhaustion
+  EXPECT_GT(a.shrink_events, 0);
+  EXPECT_EQ(a.rank_failures, b.rank_failures);
+  EXPECT_EQ(a.spares_used, b.spares_used);
+  EXPECT_EQ(a.sim.total_seconds, b.sim.total_seconds);  // bitwise
+  EXPECT_EQ(a.t_rework, b.t_rework);
+  EXPECT_EQ(a.t_restore, b.t_restore);
+  EXPECT_EQ(a.log.size(), b.log.size());
+  EXPECT_EQ(a.rank_alive, b.rank_alive);
+}
+
+TEST(Campaign, SimultaneousBuddyPairLossIsUnrecoverable) {
+  CampaignRig rig;
+  // Ranks 0 and 1 (a buddy pair on the ring) both die in step 1, before
+  // any re-mirror: the diskless double-failure window.
+  const auto r = rig.run(par::RecoveryPolicy::kSpareRank,
+                         1 * CampaignRig::kRanks + 0, 2);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rank_failures, 2);
+  EXPECT_LT(r.steps_executed, 20);
+  EXPECT_GE(r.log.count(RecoveryAction::kBuddyRestore), 1);
+}
+
+TEST(Campaign, SyntheticDomainUsesAnalyticShrink) {
+  par::SurfaceLaw law;
+  law.edges_per_vertex = 7;
+  law.ghost_coeff = 2.0;
+  law.cut_coeff = 4.0;
+  law.imbalance_coeff = 0.5;
+  law.neighbor_base = 6;
+  const auto domain =
+      par::make_domain(par::synthesize_load(32000, 16, law));
+  FaultInjector inj(5);
+  arm_rank_fail_at(inj, 2 * 16 + 3);
+  par::CampaignOptions o;
+  o.policy = par::RecoveryPolicy::kShrinkRepartition;
+  o.checkpoint_interval = 5;
+  o.injector = &inj;
+  const std::vector<par::StepCounts> steps(10);
+  const auto r = par::simulate_campaign(perf::asci_red(), domain,
+                                        test_work(), steps, o);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.shrink_events, 1);
+  EXPECT_EQ(r.final_load.procs, 15);
+  EXPECT_GT(r.final_load.avg_owned, domain.load.avg_owned);
+}
+
+TEST(ShrinkLoad, SpreadsTheDeadSubdomainOverSurvivors) {
+  par::SurfaceLaw law;
+  law.edges_per_vertex = 7;
+  law.ghost_coeff = 2.0;
+  law.imbalance_coeff = 0.3;
+  law.neighbor_base = 6;
+  const auto load = par::synthesize_load(64000, 32, law);
+  const auto shrunk = par::shrink_load(load);
+  EXPECT_EQ(shrunk.procs, 31);
+  EXPECT_GT(shrunk.avg_owned, load.avg_owned);
+  EXPECT_GE(shrunk.max_owned, shrunk.avg_owned);
+  // Critical path degrades at least as much as the average.
+  const double avg_ratio = shrunk.avg_owned / load.avg_owned;
+  EXPECT_GE(shrunk.max_owned / load.max_owned, 1.0);
+  EXPECT_NEAR(avg_ratio, 32.0 / 31.0, 1e-12);
+  EXPECT_THROW(
+      {
+        auto one = load;
+        one.procs = 1;
+        par::shrink_load(one);
+      },
+      Error);
+}
+
+// --- Young/Daly availability model ----------------------------------------
+
+TEST(Daly, OptimumMinimizesTheAnalyticOverhead) {
+  const double delta = 0.2, mtbf = 500, restart = 1.0;
+  const double tau = par::daly_optimal_interval(delta, mtbf);
+  EXPECT_NEAR(tau, std::sqrt(2 * delta * mtbf), 1e-12);
+  const double at_opt = par::daly_overhead(tau, delta, restart, mtbf);
+  EXPECT_LT(at_opt, par::daly_overhead(tau / 3, delta, restart, mtbf));
+  EXPECT_LT(at_opt, par::daly_overhead(tau * 3, delta, restart, mtbf));
+}
+
+// The simulator's measured availability overhead agrees with the Daly
+// prediction at the analytic optimum — the bench_availability acceptance
+// criterion, shrunk to test size. Fully deterministic from the seeds.
+TEST(Daly, SimulatedOverheadMatchesPredictionAtTheOptimum) {
+  par::SurfaceLaw law;
+  law.edges_per_vertex = 7;
+  law.ghost_coeff = 2.0;
+  law.cut_coeff = 4.0;
+  law.imbalance_coeff = 0.5;
+  law.neighbor_base = 8;
+  const int procs = 32;
+  const auto domain =
+      par::make_domain(par::synthesize_load(4000.0 * procs, procs, law));
+  const auto work = test_work();
+  const auto machine = perf::asci_red();
+  const int nsteps = 3000;
+  const std::vector<par::StepCounts> steps(nsteps);
+  const double mtbf_steps = 250;
+  const double q = 1.0 / (mtbf_steps * procs);
+
+  par::CampaignOptions base;
+  base.policy = par::RecoveryPolicy::kSpareRank;
+  base.spare_ranks = 1 << 20;
+  base.checkpoint_doubles_per_vertex = 120;
+
+  const double step_s =
+      par::model_step(machine, domain.load, work, steps[0]).total();
+  base.spare_boot_s = 0.25 * step_s;
+
+  auto measure = [&](int interval, int seed) {
+    FaultInjector inj(static_cast<std::uint64_t>(seed));
+    FaultPlan plan;
+    plan.probability = q;
+    inj.arm(FaultSite::kRankFail, plan);
+    par::CampaignOptions o = base;
+    o.checkpoint_interval = interval;
+    o.injector = &inj;
+    return par::simulate_campaign(machine, domain, work, steps, o);
+  };
+
+  const double delta = measure(0, 1).checkpoint_cost_s;
+  const double mtbf_s = mtbf_steps * step_s;
+  const double restart_s = 2 * delta + base.spare_boot_s;
+  const double tau_opt_s = par::daly_optimal_interval(delta, mtbf_s);
+  const int tau_opt = std::max(
+      1, static_cast<int>(std::lround(tau_opt_s / step_s)));
+
+  auto overhead_at = [&](int interval) {
+    double sum = 0;
+    const int nseeds = 3;
+    for (int seed = 1; seed <= nseeds; ++seed) {
+      const auto r = measure(interval, seed);
+      EXPECT_TRUE(r.completed);
+      sum += r.total_seconds() / r.useful_seconds() - 1.0;
+    }
+    return sum / nseeds;
+  };
+
+  const double measured = overhead_at(tau_opt);
+  const double predicted =
+      par::daly_overhead(tau_opt * step_s, delta, restart_s, mtbf_s);
+  EXPECT_GT(measured, 0.0);
+  EXPECT_NEAR(measured, predicted, 0.25 * predicted);
+  // The U-curve: the optimum beats a 6x-too-eager and a 6x-too-lazy
+  // checkpoint policy on the measured curve too.
+  EXPECT_LT(measured, overhead_at(std::max(1, tau_opt / 6)));
+  EXPECT_LT(measured, overhead_at(tau_opt * 6));
+}
+
+}  // namespace

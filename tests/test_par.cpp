@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "mesh/generator.hpp"
 #include "par/loadmodel.hpp"
 #include "par/stepmodel.hpp"
@@ -60,6 +61,68 @@ TEST(LoadModel, SurfaceFitRoundTrips) {
   auto synth = synthesize_load(samples[1].total_vertices, 8, law);
   EXPECT_GT(synth.avg_ghosts, samples[1].avg_ghosts * 0.5);
   EXPECT_LT(synth.avg_ghosts, samples[1].avg_ghosts * 2.0);
+}
+
+// --- degenerate decompositions (single proc, more parts than vertices,
+// --- empty parts after a fail-stop shrink) -------------------------------
+
+TEST(LoadModel, SingleProcHasNoSurfaceQuantities) {
+  auto g = wing_graph();
+  part::Partition p;
+  p.nparts = 1;
+  p.part.assign(static_cast<std::size_t>(g.ptr.size()) - 1, 0);
+  auto load = measure_load(g, p);
+  EXPECT_EQ(load.procs, 1);
+  EXPECT_EQ(load.active_procs, 1);
+  EXPECT_EQ(load.avg_ghosts, 0.0);
+  EXPECT_EQ(load.avg_neighbors, 0.0);
+  EXPECT_NEAR(load.avg_owned, load.total_vertices, 1e-12);
+  // A P=1 sample cannot constrain the surface law but must not poison
+  // the fit with NaNs; alone it yields the defined all-zero law.
+  auto law = fit_surface_law({load});
+  EXPECT_EQ(law.ghost_coeff, 0.0);
+  EXPECT_EQ(law.imbalance_coeff, 0.0);
+  EXPECT_TRUE(std::isfinite(law.imbalance_at(1000)));
+  // And the all-zero law still synthesizes a finite (commless) load.
+  auto synth = synthesize_load(1000, 4, law);
+  EXPECT_TRUE(std::isfinite(synth.max_edges));
+  EXPECT_EQ(synth.avg_ghosts, 0.0);
+}
+
+TEST(LoadModel, MorePartsThanVerticesAveragesOverNonEmpty) {
+  // 4 vertices on a path, striped over 16 parts: 12 parts are empty.
+  auto g = mesh::build_graph(4, {{{0, 1}}, {{1, 2}}, {{2, 3}}});
+  part::Partition p;
+  p.nparts = 16;
+  p.part = {0, 1, 2, 3};
+  auto load = measure_load(g, p);
+  EXPECT_EQ(load.procs, 16);
+  EXPECT_EQ(load.active_procs, 4);
+  // Averages describe the processors that actually hold vertices.
+  EXPECT_NEAR(load.avg_owned, 1.0, 1e-12);
+  EXPECT_NEAR(load.max_owned, 1.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(load.avg_ghosts));
+}
+
+TEST(LoadModel, DegenerateSamplesAreSkippedByTheFit) {
+  auto g = wing_graph();
+  std::vector<PartitionLoad> good;
+  for (int np : {4, 8, 16})
+    good.push_back(measure_load(g, part::kway_grow(g, np)));
+  // The same fit with degenerate samples mixed in: a P=1 load and an
+  // all-zero (post-failure, empty) load must be skipped, not averaged.
+  std::vector<PartitionLoad> mixed = good;
+  part::Partition p1;
+  p1.nparts = 1;
+  p1.part.assign(static_cast<std::size_t>(g.ptr.size()) - 1, 0);
+  mixed.push_back(measure_load(g, p1));
+  mixed.push_back(PartitionLoad{});
+  auto law_good = fit_surface_law(good);
+  auto law_mixed = fit_surface_law(mixed);
+  EXPECT_EQ(law_mixed.ghost_coeff, law_good.ghost_coeff);
+  EXPECT_EQ(law_mixed.cut_coeff, law_good.cut_coeff);
+  EXPECT_EQ(law_mixed.imbalance_coeff, law_good.imbalance_coeff);
+  EXPECT_THROW(fit_surface_law({}), Error);
 }
 
 TEST(LoadModel, SynthesizedGhostFractionRisesWithProcs) {

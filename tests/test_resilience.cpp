@@ -491,10 +491,19 @@ TEST(Checkpoint, RoundTripIsBitExact) {
   FaultPlan p;
   p.probability = 0.4;
   inj.arm(FaultSite::kResidual, p);
+  FaultPlan straggler;
+  straggler.probability = 0.1;
+  straggler.magnitude = 3.75;  // carried in the serialized state
+  inj.arm(FaultSite::kRank, straggler);
   for (int d = 0; d < 23; ++d) inj.should_fire(FaultSite::kResidual);
+  for (int d = 0; d < 7; ++d) inj.should_fire(FaultSite::kRankFail);
   ck.injector = inj.state();
+  ck.rank_alive = {1, 1, 0, 1};  // distributed campaign state
+  ck.spares_used = 2;
+  ck.last_buddy_checkpoint_step = 5;
   ck.log.add(3, RecoveryAction::kStepRejected, "attempt 1");
   ck.log.add(3, RecoveryAction::kCflBacktrack, "cfl_relax=0.25");
+  ck.log.add(5, RecoveryAction::kSpareSubstitution, "rank 2");
 
   const std::string path = temp_path("f3d_ck_roundtrip.bin");
   std::remove(path.c_str());
@@ -517,6 +526,12 @@ TEST(Checkpoint, RoundTripIsBitExact) {
   EXPECT_EQ(back->injector.seed, ck.injector.seed);
   EXPECT_EQ(back->injector.draws, ck.injector.draws);
   EXPECT_EQ(back->injector.fires, ck.injector.fires);
+  EXPECT_EQ(back->injector.magnitudes, ck.injector.magnitudes);
+  EXPECT_EQ(back->injector.magnitudes[static_cast<int>(FaultSite::kRank)],
+            3.75);
+  EXPECT_EQ(back->rank_alive, ck.rank_alive);
+  EXPECT_EQ(back->spares_used, ck.spares_used);
+  EXPECT_EQ(back->last_buddy_checkpoint_step, ck.last_buddy_checkpoint_step);
   ASSERT_EQ(back->log.size(), ck.log.size());
   for (std::size_t i = 0; i < ck.log.size(); ++i) {
     EXPECT_EQ(back->log.events()[i].step, ck.log.events()[i].step);
@@ -532,6 +547,59 @@ TEST(Checkpoint, MissingOrCorruptFilesAreRejected) {
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << "F3DCKPT2truncated";
+  }
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+// Every single-byte corruption of the payload must be caught by the CRC,
+// and truncation / version skew rejected before the payload is parsed.
+TEST(Checkpoint, SingleFlippedByteFailsTheCrc) {
+  PtcCheckpoint ck;
+  ck.step = 11;
+  ck.x = {1.0, 2.0, 3.0, 4.0};
+  ck.rnorm = 1e-4;
+  ck.log.add(2, RecoveryAction::kPivotShift, "shift=1e-06");
+  const std::string bytes = encode_checkpoint(ck);
+  ASSERT_TRUE(decode_checkpoint(bytes).has_value());
+
+  const std::size_t header = 8 + 4 + 4 + 8;  // magic+version+crc+size
+  for (std::size_t i = header; i < bytes.size(); i += 7) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    EXPECT_FALSE(decode_checkpoint(bad).has_value()) << "byte " << i;
+  }
+  // Truncation at any point is rejected too.
+  EXPECT_FALSE(
+      decode_checkpoint(bytes.substr(0, bytes.size() - 1)).has_value());
+  EXPECT_FALSE(decode_checkpoint(bytes.substr(0, header)).has_value());
+  // A checkpoint from a different format version is rejected up front.
+  std::string skewed = bytes;
+  skewed[8] = static_cast<char>(kCheckpointFormatVersion + 1);
+  EXPECT_FALSE(decode_checkpoint(skewed).has_value());
+  // Appending trailing garbage is not a valid checkpoint either.
+  EXPECT_FALSE(decode_checkpoint(bytes + "x").has_value());
+}
+
+// On disk: corrupt one byte of a saved file and require rejection (the
+// load path goes through the same CRC frame).
+TEST(Checkpoint, CorruptedFileOnDiskIsRejected) {
+  PtcCheckpoint ck;
+  ck.step = 3;
+  ck.x = {5.0, 6.0};
+  const std::string path = temp_path("f3d_ck_bitflip.bin");
+  std::remove(path.c_str());
+  ASSERT_TRUE(save_checkpoint(path, ck));
+  ASSERT_TRUE(load_checkpoint(path).has_value());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);  // somewhere inside the payload
+    char c = 0;
+    f.seekg(40);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x10);
+    f.seekp(40);
+    f.write(&c, 1);
   }
   EXPECT_FALSE(load_checkpoint(path).has_value());
   std::remove(path.c_str());
