@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Full CI gate in one command:
 #   1. release build + complete test suite
-#   2. ASan+UBSan build + the resilience-labelled tests (the fault
+#   2. thread-scaling bench of the exec-layer kernels (writes
+#      BENCH_threading.json; also re-verifies bit-identity across thread
+#      counts and exits nonzero on any mismatch)
+#   3. ASan+UBSan build + the resilience-labelled tests (the fault
 #      injection / recovery / checkpoint / distributed-campaign paths,
 #      where memory bugs would hide behind error handling)
+#   4. TSan build + the threaded-labelled tests (the exec pool, colored
+#      scatters, level-scheduled solves) with a 4-thread pool
 #
 # Usage: scripts/ci.sh [-j N]
 
@@ -23,9 +28,17 @@ cmake --preset release
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
+echo "=== thread-scaling bench (BENCH_threading.json) ==="
+./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
+
 echo "=== asan build + resilience-labelled tests ==="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan-resilience -j "$JOBS"
+
+echo "=== tsan build + threaded-labelled tests ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+ctest --preset tsan-threaded -j "$JOBS"
 
 echo "=== CI green ==="

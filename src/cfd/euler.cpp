@@ -3,20 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include "common/error.hpp"
+#include "exec/pool.hpp"
 
 namespace f3d::cfd {
+
+namespace {
+// Edges per parallel_for chunk in the colored scatter loops: small enough
+// to split a color class across threads, large enough that a class on a
+// small mesh runs inline.
+constexpr std::int64_t kEdgeGrain = 256;
+constexpr std::int64_t kVertexGrain = 1024;
+}  // namespace
 
 EulerDiscretization::EulerDiscretization(const mesh::UnstructuredMesh& mesh,
                                          FlowConfig cfg)
     : mesh_(mesh),
       cfg_(cfg),
       dual_(mesh::compute_dual_metrics(mesh)),
-      stencil_(sparse::stencil_from_mesh(mesh)) {
+      stencil_(sparse::stencil_from_mesh(mesh)),
+      coloring_(mesh::edge_color_classes(mesh)) {
   F3D_CHECK(cfg_.order == 1 || cfg_.order == 2);
   freestream_state(cfg_, qinf_);
 }
@@ -35,31 +41,44 @@ void EulerDiscretization::gradients(const FlowField& q,
   grad.assign(static_cast<std::size_t>(nv) * ncomp * 3, 0.0);
 
   const auto& edges = mesh_.edges();
-  const auto& coords = mesh_.coords();
-  (void)coords;
   const double* qd = q.data().data();
   const std::size_t st = q.stride();
+  auto& pool = exec::pool();
 
   // Edge-difference Green-Gauss: grad_i += 1/(2 V_i) n_ij (q_j - q_i).
-  for (int e = 0; e < mesh_.num_edges(); ++e) {
-    const int i = edges[e][0], j = edges[e][1];
-    const auto& n = dual_.edge_normal[e];
-    const std::size_t bi = q.base(i), bj = q.base(j);
-    for (int c = 0; c < ncomp; ++c) {
-      const double dq = qd[bj + c * st] - qd[bi + c * st];
-      for (int d = 0; d < 3; ++d) {
-        grad[(static_cast<std::size_t>(i) * ncomp + c) * 3 + d] +=
-            0.5 * n[d] * dq;
-        grad[(static_cast<std::size_t>(j) * ncomp + c) * 3 + d] +=
-            0.5 * n[d] * dq;
-      }
-    }
+  // Colored scatter: classes in sequence, edges of a class in parallel.
+  for (int cc = 0; cc < coloring_.num_colors(); ++cc) {
+    pool.parallel_for(
+        coloring_.class_ptr[cc], coloring_.class_ptr[cc + 1],
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t k = lo; k < hi; ++k) {
+            const int e = coloring_.edge[k];
+            const int i = edges[e][0], j = edges[e][1];
+            const auto& n = dual_.edge_normal[e];
+            const std::size_t bi = q.base(i), bj = q.base(j);
+            for (int c = 0; c < ncomp; ++c) {
+              const double dq = qd[bj + c * st] - qd[bi + c * st];
+              for (int d = 0; d < 3; ++d) {
+                grad[(static_cast<std::size_t>(i) * ncomp + c) * 3 + d] +=
+                    0.5 * n[d] * dq;
+                grad[(static_cast<std::size_t>(j) * ncomp + c) * 3 + d] +=
+                    0.5 * n[d] * dq;
+              }
+            }
+          }
+        },
+        kEdgeGrain);
   }
-  for (int v = 0; v < nv; ++v) {
-    const double inv_vol = 1.0 / dual_.vertex_volume[v];
-    for (int k = 0; k < ncomp * 3; ++k)
-      grad[static_cast<std::size_t>(v) * ncomp * 3 + k] *= inv_vol;
-  }
+  pool.parallel_for(
+      0, nv,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t v = lo; v < hi; ++v) {
+          const double inv_vol = 1.0 / dual_.vertex_volume[v];
+          for (int k = 0; k < ncomp * 3; ++k)
+            grad[static_cast<std::size_t>(v) * ncomp * 3 + k] *= inv_vol;
+        }
+      },
+      kVertexGrain);
 }
 
 void EulerDiscretization::limiters(const FlowField& q,
@@ -73,30 +92,46 @@ void EulerDiscretization::limiters(const FlowField& q,
   const auto& coords = mesh_.coords();
   const double* qd = q.data().data();
   const std::size_t st = q.stride();
+  auto& pool = exec::pool();
 
-  // Neighbor min/max per (vertex, component).
+  // Neighbor min/max per (vertex, component). min/max are exact, so the
+  // colored scatter is deterministic for free; the coloring only provides
+  // race-freedom.
   std::vector<double> qmin(static_cast<std::size_t>(nv) * ncomp),
       qmax(static_cast<std::size_t>(nv) * ncomp);
-  for (int v = 0; v < nv; ++v) {
-    const std::size_t b = q.base(v);
-    for (int c = 0; c < ncomp; ++c)
-      qmin[static_cast<std::size_t>(v) * ncomp + c] =
-          qmax[static_cast<std::size_t>(v) * ncomp + c] = qd[b + c * st];
-  }
-  for (const auto& e : edges) {
-    const int i = e[0], j = e[1];
-    const std::size_t bi = q.base(i), bj = q.base(j);
-    for (int c = 0; c < ncomp; ++c) {
-      const double qi = qd[bi + c * st], qj = qd[bj + c * st];
-      auto& mni = qmin[static_cast<std::size_t>(i) * ncomp + c];
-      auto& mxi = qmax[static_cast<std::size_t>(i) * ncomp + c];
-      auto& mnj = qmin[static_cast<std::size_t>(j) * ncomp + c];
-      auto& mxj = qmax[static_cast<std::size_t>(j) * ncomp + c];
-      mni = std::min(mni, qj);
-      mxi = std::max(mxi, qj);
-      mnj = std::min(mnj, qi);
-      mxj = std::max(mxj, qi);
-    }
+  pool.parallel_for(
+      0, nv,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t v = lo; v < hi; ++v) {
+          const std::size_t b = q.base(static_cast<int>(v));
+          for (int c = 0; c < ncomp; ++c)
+            qmin[static_cast<std::size_t>(v) * ncomp + c] =
+                qmax[static_cast<std::size_t>(v) * ncomp + c] = qd[b + c * st];
+        }
+      },
+      kVertexGrain);
+  for (int cc = 0; cc < coloring_.num_colors(); ++cc) {
+    pool.parallel_for(
+        coloring_.class_ptr[cc], coloring_.class_ptr[cc + 1],
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t k = lo; k < hi; ++k) {
+            const int e = coloring_.edge[k];
+            const int i = edges[e][0], j = edges[e][1];
+            const std::size_t bi = q.base(i), bj = q.base(j);
+            for (int c = 0; c < ncomp; ++c) {
+              const double qi = qd[bi + c * st], qj = qd[bj + c * st];
+              auto& mni = qmin[static_cast<std::size_t>(i) * ncomp + c];
+              auto& mxi = qmax[static_cast<std::size_t>(i) * ncomp + c];
+              auto& mnj = qmin[static_cast<std::size_t>(j) * ncomp + c];
+              auto& mxj = qmax[static_cast<std::size_t>(j) * ncomp + c];
+              mni = std::min(mni, qj);
+              mxi = std::max(mxi, qj);
+              mnj = std::min(mnj, qi);
+              mxj = std::max(mxj, qi);
+            }
+          }
+        },
+        kEdgeGrain);
   }
 
   // Venkatakrishnan limiter, eps^2 ~ (K^3) * cell volume (h^3 scale).
@@ -106,33 +141,44 @@ void EulerDiscretization::limiters(const FlowField& q,
     return den == 0 ? 1.0 : num / (den * d2);
   };
 
-  for (int e = 0; e < mesh_.num_edges(); ++e) {
-    const int i = edges[e][0], j = edges[e][1];
-    const double dx[3] = {coords[j][0] - coords[i][0],
-                          coords[j][1] - coords[i][1],
-                          coords[j][2] - coords[i][2]};
-    const std::size_t bi = q.base(i), bj = q.base(j);
-    for (int c = 0; c < ncomp; ++c) {
-      // Limit both endpoints' reconstructions toward the edge midpoint.
-      for (int side = 0; side < 2; ++side) {
-        const int v = side == 0 ? i : j;
-        const double sgn = side == 0 ? 0.5 : -0.5;
-        const double* g =
-            &grad[(static_cast<std::size_t>(v) * ncomp + c) * 3];
-        const double d2 = sgn * (g[0] * dx[0] + g[1] * dx[1] + g[2] * dx[2]);
-        if (d2 == 0) continue;
-        const std::size_t b = side == 0 ? bi : bj;
-        const double qv = qd[b + c * st];
-        const double dplus =
-            d2 > 0 ? qmax[static_cast<std::size_t>(v) * ncomp + c] - qv
-                   : qmin[static_cast<std::size_t>(v) * ncomp + c] - qv;
-        const double k3 = cfg_.venkat_k * cfg_.venkat_k * cfg_.venkat_k;
-        const double eps2 = k3 * dual_.vertex_volume[v];
-        const double lim = venkat(d2 > 0 ? dplus : -dplus, std::abs(d2), eps2);
-        auto& p = phi[static_cast<std::size_t>(v) * ncomp + c];
-        p = std::min(p, std::max(0.0, lim));
-      }
-    }
+  for (int cc = 0; cc < coloring_.num_colors(); ++cc) {
+    pool.parallel_for(
+        coloring_.class_ptr[cc], coloring_.class_ptr[cc + 1],
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t k = lo; k < hi; ++k) {
+            const int e = coloring_.edge[k];
+            const int i = edges[e][0], j = edges[e][1];
+            const double dx[3] = {coords[j][0] - coords[i][0],
+                                  coords[j][1] - coords[i][1],
+                                  coords[j][2] - coords[i][2]};
+            const std::size_t bi = q.base(i), bj = q.base(j);
+            for (int c = 0; c < ncomp; ++c) {
+              // Limit both endpoints' reconstructions toward the edge
+              // midpoint.
+              for (int side = 0; side < 2; ++side) {
+                const int v = side == 0 ? i : j;
+                const double sgn = side == 0 ? 0.5 : -0.5;
+                const double* g =
+                    &grad[(static_cast<std::size_t>(v) * ncomp + c) * 3];
+                const double d2 =
+                    sgn * (g[0] * dx[0] + g[1] * dx[1] + g[2] * dx[2]);
+                if (d2 == 0) continue;
+                const std::size_t b = side == 0 ? bi : bj;
+                const double qv = qd[b + c * st];
+                const double dplus =
+                    d2 > 0 ? qmax[static_cast<std::size_t>(v) * ncomp + c] - qv
+                           : qmin[static_cast<std::size_t>(v) * ncomp + c] - qv;
+                const double k3 = cfg_.venkat_k * cfg_.venkat_k * cfg_.venkat_k;
+                const double eps2 = k3 * dual_.vertex_volume[v];
+                const double lim =
+                    venkat(d2 > 0 ? dplus : -dplus, std::abs(d2), eps2);
+                auto& p = phi[static_cast<std::size_t>(v) * ncomp + c];
+                p = std::min(p, std::max(0.0, lim));
+              }
+            }
+          }
+        },
+        kEdgeGrain);
   }
 }
 
@@ -160,8 +206,7 @@ void EulerDiscretization::interface_states(const FlowField& q,
 }
 
 void EulerDiscretization::residual_impl(const FlowField& q,
-                                        std::vector<double>& r,
-                                        int threads) const {
+                                        std::vector<double>& r) const {
   const int nv = num_vertices();
   const int ncomp = nb();
   F3D_CHECK(q.num_vertices() == nv && q.nb() == ncomp);
@@ -178,62 +223,41 @@ void EulerDiscretization::residual_impl(const FlowField& q,
   const auto& edges = mesh_.edges();
   const double* qd = q.data().data();
   const std::size_t st = q.stride();
-  const int ne = mesh_.num_edges();
+  double* out = r.data();
 
-#ifdef _OPENMP
-  const int nt = std::max(1, threads);
-#else
-  const int nt = 1;
-  (void)threads;
-#endif
-
-  // Per-thread replicated accumulators (thread 0 writes into r directly).
-  std::vector<std::vector<double>> racc(
-      static_cast<std::size_t>(nt > 1 ? nt - 1 : 0));
-  for (auto& a : racc) a.assign(r.size(), 0.0);
-
-  auto edge_range = [&](int t, int& lo, int& hi) {
-    lo = static_cast<int>(static_cast<long long>(ne) * t / nt);
-    hi = static_cast<int>(static_cast<long long>(ne) * (t + 1) / nt);
-  };
-
-#ifdef _OPENMP
-#pragma omp parallel num_threads(nt) if (nt > 1)
-#endif
-  {
-#ifdef _OPENMP
-    const int t = nt > 1 ? omp_get_thread_num() : 0;
-#else
-    const int t = 0;
-#endif
-    double* out = t == 0 ? r.data() : racc[t - 1].data();
-    int lo, hi;
-    edge_range(t, lo, hi);
-    double ql[kMaxComponents], qr[kMaxComponents], f[kMaxComponents];
-    for (int e = lo; e < hi; ++e) {
-      const int i = edges[e][0], j = edges[e][1];
-      const double n[3] = {dual_.edge_normal[e][0], dual_.edge_normal[e][1],
-                           dual_.edge_normal[e][2]};
-      if (second_order) {
-        interface_states(q, grad, phi, i, j, ql, qr);
-      } else {
-        const std::size_t bi = q.base(i), bj = q.base(j);
-        for (int c = 0; c < ncomp; ++c) {
-          ql[c] = qd[bi + c * st];
-          qr[c] = qd[bj + c * st];
-        }
-      }
-      rusanov_flux(cfg_, ql, qr, n, f);
-      const std::size_t bi = q.base(i), bj = q.base(j);
-      for (int c = 0; c < ncomp; ++c) {
-        out[bi + c * st] += f[c];
-        out[bj + c * st] -= f[c];
-      }
-    }
+  // Flux scatter over the conflict-free color classes: within a class no
+  // two edges touch a vertex, so threads write disjoint residual slots
+  // and each vertex accumulates in class order regardless of thread count.
+  for (int cc = 0; cc < coloring_.num_colors(); ++cc) {
+    exec::pool().parallel_for(
+        coloring_.class_ptr[cc], coloring_.class_ptr[cc + 1],
+        [&](std::int64_t lo, std::int64_t hi) {
+          double ql[kMaxComponents], qr[kMaxComponents], f[kMaxComponents];
+          for (std::int64_t k = lo; k < hi; ++k) {
+            const int e = coloring_.edge[k];
+            const int i = edges[e][0], j = edges[e][1];
+            const double n[3] = {dual_.edge_normal[e][0],
+                                 dual_.edge_normal[e][1],
+                                 dual_.edge_normal[e][2]};
+            if (second_order) {
+              interface_states(q, grad, phi, i, j, ql, qr);
+            } else {
+              const std::size_t bi = q.base(i), bj = q.base(j);
+              for (int c = 0; c < ncomp; ++c) {
+                ql[c] = qd[bi + c * st];
+                qr[c] = qd[bj + c * st];
+              }
+            }
+            rusanov_flux(cfg_, ql, qr, n, f);
+            const std::size_t bi = q.base(i), bj = q.base(j);
+            for (int c = 0; c < ncomp; ++c) {
+              out[bi + c * st] += f[c];
+              out[bj + c * st] -= f[c];
+            }
+          }
+        },
+        kEdgeGrain);
   }
-  // Reduce replicated arrays (the OpenMP "gather" cost the paper notes).
-  for (const auto& a : racc)
-    for (std::size_t k = 0; k < r.size(); ++k) r[k] += a[k];
 
   // Boundary closure (serial; boundary work is a small fraction).
   const auto& bfaces = mesh_.boundary_faces();
@@ -258,13 +282,14 @@ void EulerDiscretization::residual_impl(const FlowField& q,
 
 void EulerDiscretization::residual(const FlowField& q,
                                    std::vector<double>& r) const {
-  residual_impl(q, r, 1);
+  residual_impl(q, r);
 }
 
 void EulerDiscretization::residual_threaded(const FlowField& q,
                                             std::vector<double>& r,
                                             int threads) const {
-  residual_impl(q, r, threads);
+  exec::ThreadScope scope(std::max(1, threads));
+  residual_impl(q, r);
 }
 
 void EulerDiscretization::spectral_radius(const FlowField& q,
@@ -275,22 +300,32 @@ void EulerDiscretization::spectral_radius(const FlowField& q,
   const auto& edges = mesh_.edges();
   const double* qd = q.data().data();
   const std::size_t st = q.stride();
-  double qi[kMaxComponents], qj[kMaxComponents];
-  for (int e = 0; e < mesh_.num_edges(); ++e) {
-    const int i = edges[e][0], j = edges[e][1];
-    const double n[3] = {dual_.edge_normal[e][0], dual_.edge_normal[e][1],
-                         dual_.edge_normal[e][2]};
-    const std::size_t bi = q.base(i), bj = q.base(j);
-    for (int c = 0; c < ncomp; ++c) {
-      qi[c] = qd[bi + c * st];
-      qj[c] = qd[bj + c * st];
-    }
-    const double lam =
-        std::max(max_wave_speed(cfg_, qi, n), max_wave_speed(cfg_, qj, n));
-    sr[i] += lam;
-    sr[j] += lam;
+  for (int cc = 0; cc < coloring_.num_colors(); ++cc) {
+    exec::pool().parallel_for(
+        coloring_.class_ptr[cc], coloring_.class_ptr[cc + 1],
+        [&](std::int64_t lo, std::int64_t hi) {
+          double qi[kMaxComponents], qj[kMaxComponents];
+          for (std::int64_t k = lo; k < hi; ++k) {
+            const int e = coloring_.edge[k];
+            const int i = edges[e][0], j = edges[e][1];
+            const double n[3] = {dual_.edge_normal[e][0],
+                                 dual_.edge_normal[e][1],
+                                 dual_.edge_normal[e][2]};
+            const std::size_t bi = q.base(i), bj = q.base(j);
+            for (int c = 0; c < ncomp; ++c) {
+              qi[c] = qd[bi + c * st];
+              qj[c] = qd[bj + c * st];
+            }
+            const double lam = std::max(max_wave_speed(cfg_, qi, n),
+                                        max_wave_speed(cfg_, qj, n));
+            sr[i] += lam;
+            sr[j] += lam;
+          }
+        },
+        kEdgeGrain);
   }
   const auto& bfaces = mesh_.boundary_faces();
+  double qi[kMaxComponents];
   for (std::size_t bf = 0; bf < bfaces.size(); ++bf) {
     const auto& face = bfaces[bf];
     const double n3[3] = {dual_.bface_normal[bf][0] / 3.0,
@@ -333,31 +368,45 @@ void EulerDiscretization::jacobian(const FlowField& q,
   const auto& edges = mesh_.edges();
   const double* qd = q.data().data();
   const std::size_t st = q.stride();
-  double qi[kMaxComponents], qj[kMaxComponents];
-  std::vector<double> dl(bsz), dr(bsz);
-  for (int e = 0; e < mesh_.num_edges(); ++e) {
-    const int i = edges[e][0], j = edges[e][1];
-    const double n[3] = {dual_.edge_normal[e][0], dual_.edge_normal[e][1],
-                         dual_.edge_normal[e][2]};
-    const std::size_t bi = q.base(i), bj = q.base(j);
-    for (int c = 0; c < ncomp; ++c) {
-      qi[c] = qd[bi + c * st];
-      qj[c] = qd[bj + c * st];
-    }
-    rusanov_flux_jacobian(cfg_, qi, qj, n, dl.data(), dr.data());
-    double* jii = block_at(i, i);
-    double* jij = block_at(i, j);
-    double* jji = block_at(j, i);
-    double* jjj = block_at(j, j);
-    for (std::size_t k = 0; k < bsz; ++k) {
-      jii[k] += dl[k];
-      jij[k] += dr[k];
-      jji[k] -= dl[k];
-      jjj[k] -= dr[k];
-    }
+  // Edge (i, j) updates blocks (i,i), (i,j), (j,i), (j,j); two edges with
+  // no shared vertex touch disjoint blocks, so the coloring makes the
+  // assembly scatter race-free with class-order accumulation.
+  for (int cc = 0; cc < coloring_.num_colors(); ++cc) {
+    exec::pool().parallel_for(
+        coloring_.class_ptr[cc], coloring_.class_ptr[cc + 1],
+        [&](std::int64_t lo, std::int64_t hi) {
+          double qi[kMaxComponents], qj[kMaxComponents];
+          double dl[kMaxComponents * kMaxComponents],
+              dr[kMaxComponents * kMaxComponents];
+          for (std::int64_t k = lo; k < hi; ++k) {
+            const int e = coloring_.edge[k];
+            const int i = edges[e][0], j = edges[e][1];
+            const double n[3] = {dual_.edge_normal[e][0],
+                                 dual_.edge_normal[e][1],
+                                 dual_.edge_normal[e][2]};
+            const std::size_t bi = q.base(i), bj = q.base(j);
+            for (int c = 0; c < ncomp; ++c) {
+              qi[c] = qd[bi + c * st];
+              qj[c] = qd[bj + c * st];
+            }
+            rusanov_flux_jacobian(cfg_, qi, qj, n, dl, dr);
+            double* jii = block_at(i, i);
+            double* jij = block_at(i, j);
+            double* jji = block_at(j, i);
+            double* jjj = block_at(j, j);
+            for (std::size_t b = 0; b < bsz; ++b) {
+              jii[b] += dl[b];
+              jij[b] += dr[b];
+              jji[b] -= dl[b];
+              jjj[b] -= dr[b];
+            }
+          }
+        },
+        kEdgeGrain);
   }
 
   const auto& bfaces = mesh_.boundary_faces();
+  double qi[kMaxComponents];
   std::vector<double> da(bsz), db(bsz);
   for (std::size_t bf = 0; bf < bfaces.size(); ++bf) {
     const auto& face = bfaces[bf];

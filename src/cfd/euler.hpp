@@ -20,6 +20,7 @@
 #include "cfd/state.hpp"
 #include "mesh/dual.hpp"
 #include "mesh/mesh.hpp"
+#include "mesh/ordering.hpp"
 #include "sparse/assembly.hpp"
 #include "sparse/csr.hpp"
 
@@ -46,14 +47,23 @@ public:
   [[nodiscard]] FlowField make_freestream_field() const;
 
   /// Steady residual r(q), same layout as q. Second-order if
-  /// config().order == 2.
+  /// config().order == 2. Runs on the f3d::exec pool: the edge scatter
+  /// processes the cached conflict-free color classes sequentially with
+  /// the edges of each class in parallel, so the result is bit-identical
+  /// for any thread count (each vertex receives at most one contribution
+  /// per class — the accumulation order is the class order).
   void residual(const FlowField& q, std::vector<double>& r) const;
 
-  /// Same residual computed with `threads` OpenMP threads over the edge
-  /// loop, using replicated per-thread accumulation arrays (the paper's
-  /// §2.5 hybrid experiment notes exactly this redundant-array cost).
+  /// residual() under a temporary exec-pool size (resizes the pool for
+  /// the call — benches sweeping thread counts should prefer an outer
+  /// exec::ThreadScope around plain residual() calls).
   void residual_threaded(const FlowField& q, std::vector<double>& r,
                          int threads) const;
+
+  /// The cached edge coloring driving the parallel scatters.
+  [[nodiscard]] const mesh::EdgeColoring& edge_coloring() const {
+    return coloring_;
+  }
 
   /// Per-vertex spectral radius sum_faces (|Theta| + c |n|), for the local
   /// pseudo-timestep dt_i = CFL * V_i / sr_i.
@@ -88,9 +98,10 @@ private:
   FlowConfig cfg_;
   mesh::DualMetrics dual_;
   sparse::Stencil stencil_;
+  mesh::EdgeColoring coloring_;
   double qinf_[kMaxComponents];
 
-  void residual_impl(const FlowField& q, std::vector<double>& r, int threads) const;
+  void residual_impl(const FlowField& q, std::vector<double>& r) const;
   void interface_states(const FlowField& q, const std::vector<double>& grad,
                         const std::vector<double>& phi, int i, int j,
                         double* ql, double* qr) const;

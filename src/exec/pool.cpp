@@ -1,0 +1,128 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace f3d::exec {
+
+namespace {
+// Set while a thread executes a parallel_for chunk; a nested parallel_for
+// from such a thread runs its whole range inline instead of deadlocking
+// on the (single) job slot.
+thread_local bool tl_in_parallel = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) { spawn(std::max(1, num_threads)); }
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::spawn(int num_threads) {
+  nt_ = std::max(1, num_threads);
+  // Fresh workers start with seen == 0; reset the generation counter or
+  // they would wake instantly on a stale value and run a phantom job.
+  generation_ = 0;
+  pending_ = 0;
+  body_ = nullptr;
+  error_ = nullptr;
+  workers_.reserve(nt_ - 1);
+  for (int id = 1; id < nt_; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  stop_ = false;
+}
+
+void ThreadPool::resize(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  if (num_threads == nt_) return;
+  shutdown();
+  spawn(num_threads);
+}
+
+void ThreadPool::run_chunk(int id) {
+  if (id >= participants_) return;
+  const std::int64_t n = end_ - begin_;
+  const std::int64_t lo = begin_ + n * id / participants_;
+  const std::int64_t hi = begin_ + n * (id + 1) / participants_;
+  tl_in_parallel = true;
+  try {
+    (*body_)(lo, hi);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  tl_in_parallel = false;
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lk.unlock();
+    run_chunk(id);
+    lk.lock();
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    std::int64_t grain) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  std::int64_t p = nt_;
+  if (grain > 0) p = std::min<std::int64_t>(p, (n + grain - 1) / grain);
+  if (p <= 1 || tl_in_parallel || workers_.empty()) {
+    body(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    begin_ = begin;
+    end_ = end;
+    participants_ = static_cast<int>(p);
+    error_ = nullptr;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_chunk(0);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+ThreadPool& pool() {
+  static ThreadPool p([] {
+    const char* env = std::getenv("F3D_THREADS");
+    if (env == nullptr) return 1;
+    const int n = std::atoi(env);
+    return n >= 1 ? std::min(n, 256) : 1;
+  }());
+  return p;
+}
+
+void set_threads(int num_threads) { pool().resize(num_threads); }
+
+int num_threads() { return pool().num_threads(); }
+
+}  // namespace f3d::exec

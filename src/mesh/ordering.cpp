@@ -111,16 +111,19 @@ std::vector<int> edge_order_sorted(const UnstructuredMesh& mesh) {
   return order;
 }
 
-std::vector<int> edge_order_colored(const UnstructuredMesh& mesh) {
+namespace {
+
+// Greedy coloring: scan edges, give each the smallest color not already
+// used by an edge at either endpoint. Color counts are small (bounded by
+// ~2x the max vertex degree), so a per-vertex color list suffices.
+// Returns per-edge colors; sets num_colors.
+std::vector<int> greedy_edge_colors(const UnstructuredMesh& mesh,
+                                    int* num_colors) {
   const auto& edges = mesh.edges();
   const int ne = static_cast<int>(edges.size());
-  const int nv = mesh.num_vertices();
-
-  // Greedy coloring: scan edges, give each the smallest color not already
-  // used by an edge at either endpoint. Color counts are small (bounded by
-  // ~2x the max vertex degree), so a per-vertex color list suffices.
   std::vector<int> color(ne, -1);
-  std::vector<std::vector<int>> vertex_colors(nv);
+  std::vector<std::vector<int>> vertex_colors(mesh.num_vertices());
+  int nc = 0;
   for (int e = 0; e < ne; ++e) {
     const auto& uv = edges[e];
     int c = 0;
@@ -134,7 +137,17 @@ std::vector<int> edge_order_colored(const UnstructuredMesh& mesh) {
     color[e] = c;
     vertex_colors[uv[0]].push_back(c);
     vertex_colors[uv[1]].push_back(c);
+    nc = std::max(nc, c + 1);
   }
+  if (num_colors != nullptr) *num_colors = nc;
+  return color;
+}
+
+}  // namespace
+
+std::vector<int> edge_order_colored(const UnstructuredMesh& mesh) {
+  const int ne = mesh.num_edges();
+  auto color = greedy_edge_colors(mesh, nullptr);
 
   // Order = concatenate color classes (stable within a class).
   std::vector<int> order(ne);
@@ -142,6 +155,21 @@ std::vector<int> edge_order_colored(const UnstructuredMesh& mesh) {
   std::stable_sort(order.begin(), order.end(),
                    [&](int a, int b) { return color[a] < color[b]; });
   return order;
+}
+
+EdgeColoring edge_color_classes(const UnstructuredMesh& mesh) {
+  const int ne = mesh.num_edges();
+  int nc = 0;
+  auto color = greedy_edge_colors(mesh, &nc);
+
+  EdgeColoring co;
+  co.class_ptr.assign(nc + 1, 0);
+  for (int e = 0; e < ne; ++e) ++co.class_ptr[color[e] + 1];
+  for (int c = 0; c < nc; ++c) co.class_ptr[c + 1] += co.class_ptr[c];
+  co.edge.resize(ne);
+  std::vector<int> next(co.class_ptr.begin(), co.class_ptr.end() - 1);
+  for (int e = 0; e < ne; ++e) co.edge[next[color[e]]++] = e;
+  return co;
 }
 
 std::vector<int> edge_order_random(const UnstructuredMesh& mesh, unsigned seed) {
@@ -153,31 +181,11 @@ std::vector<int> edge_order_random(const UnstructuredMesh& mesh, unsigned seed) 
 }
 
 ColoringStats edge_coloring_stats(const UnstructuredMesh& mesh) {
-  auto order = edge_order_colored(mesh);
-  const auto& edges = mesh.edges();
-  // Recover class boundaries: consecutive edges sharing a vertex mark a
-  // color change is not reliable; recompute colors directly.
-  const int ne = static_cast<int>(edges.size());
-  std::vector<std::vector<int>> vertex_colors(mesh.num_vertices());
-  std::vector<int> count;
-  for (int e = 0; e < ne; ++e) {
-    const auto& uv = edges[e];
-    int c = 0;
-    auto used = [&](int col) {
-      const auto& a = vertex_colors[uv[0]];
-      const auto& b = vertex_colors[uv[1]];
-      return std::find(a.begin(), a.end(), col) != a.end() ||
-             std::find(b.begin(), b.end(), col) != b.end();
-    };
-    while (used(c)) ++c;
-    vertex_colors[uv[0]].push_back(c);
-    vertex_colors[uv[1]].push_back(c);
-    if (c >= static_cast<int>(count.size())) count.resize(c + 1, 0);
-    ++count[c];
-  }
+  auto co = edge_color_classes(mesh);
   ColoringStats st;
-  st.num_colors = static_cast<int>(count.size());
-  for (int c : count) st.max_class = std::max(st.max_class, c);
+  st.num_colors = co.num_colors();
+  for (int c = 0; c < co.num_colors(); ++c)
+    st.max_class = std::max(st.max_class, co.class_ptr[c + 1] - co.class_ptr[c]);
   return st;
 }
 

@@ -52,6 +52,23 @@ struct ColoringStats {
 };
 ColoringStats edge_coloring_stats(const UnstructuredMesh& mesh);
 
+/// Conflict-free edge color classes for the parallel scatter loops of the
+/// execution layer (f3d::exec): a partition of the edge ids such that no
+/// two edges in a class share a vertex. Processing classes sequentially
+/// and the edges within a class in parallel makes the edge-based
+/// residual/gradient/Jacobian scatters race-free without per-thread
+/// replicated arrays — and, because each vertex receives at most one
+/// contribution per class, the per-vertex accumulation order is the class
+/// order: fixed, independent of the thread count.
+struct EdgeColoring {
+  std::vector<int> class_ptr;  ///< size num_colors()+1
+  std::vector<int> edge;       ///< edge ids grouped by class, ascending within
+  [[nodiscard]] int num_colors() const {
+    return static_cast<int>(class_ptr.empty() ? 0 : class_ptr.size() - 1);
+  }
+};
+EdgeColoring edge_color_classes(const UnstructuredMesh& mesh);
+
 /// Apply RCM vertex ordering + sorted edge ordering in place — the paper's
 /// recommended layout.
 void apply_best_ordering(UnstructuredMesh& mesh);

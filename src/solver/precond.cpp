@@ -72,8 +72,13 @@ SchwarzPreconditioner::SchwarzPreconditioner(const sparse::Bcsr<double>& a,
       // Global columns ascending and the local ids monotone in global ids
       // within the subdomain set, so local columns are already sorted.
     }
-    if (opts_.subdomain_solver == SubdomainSolver::kIlu)
+    if (opts_.subdomain_solver == SubdomainSolver::kIlu) {
       sd.pattern = sparse::ilu_symbolic(sd.local, opts_.fill_level);
+      // Level schedules of the triangular solves, computed once: the
+      // pattern is fixed across Newton refactorizations.
+      sd.fwd = sparse::lower_levels(sd.pattern);
+      sd.bwd = sparse::upper_levels(sd.pattern);
+    }
 
     for (int k = 0; k < nl; ++k) global_to_local[sd.vertices[k]] = -1;
   }
@@ -263,9 +268,9 @@ void SchwarzPreconditioner::apply(const double* r, double* z) const {
     if (opts_.subdomain_solver == SubdomainSolver::kSsor)
       ssor_solve(sd, rl.data(), zl.data());
     else if (opts_.single_precision)
-      sd.ilu_f.solve(rl.data(), zl.data());
+      sd.ilu_f.solve_levels(sd.fwd, sd.bwd, rl.data(), zl.data());
     else
-      sd.ilu_d.solve(rl.data(), zl.data());
+      sd.ilu_d.solve_levels(sd.fwd, sd.bwd, rl.data(), zl.data());
 
     const bool restrict_to_owned = opts_.type != SchwarzType::kAsm;
     for (int k = 0; k < nl; ++k) {

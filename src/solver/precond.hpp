@@ -88,6 +88,8 @@ private:
     std::vector<char> owned;    ///< parallel to vertices
     sparse::Bcsr<double> local; ///< extracted local matrix
     sparse::IluPattern pattern;
+    sparse::TriSchedule fwd;    ///< level schedule of the L solve
+    sparse::TriSchedule bwd;    ///< level schedule of the U solve
     sparse::BlockIlu<double> ilu_d;  ///< populated if !single_precision
     sparse::BlockIlu<float> ilu_f;   ///< populated if single_precision
     std::vector<double> diag_lu;     ///< factored diagonal blocks (SSOR)

@@ -4,9 +4,11 @@
 // Table 2) can store float entries while all arithmetic stays double.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
+#include "exec/pool.hpp"
 
 namespace f3d::sparse {
 
@@ -32,14 +34,21 @@ struct Csr {
     }
   }
 
-  /// y = A x. Arithmetic in double regardless of storage type.
+  /// y = A x. Arithmetic in double regardless of storage type. Rows are
+  /// independent, so the loop runs row-parallel on the exec pool and the
+  /// result is bit-identical for any thread count.
   void spmv(const double* x, double* y) const {
-    for (int i = 0; i < n; ++i) {
-      double s = 0;
-      for (int p = ptr[i]; p < ptr[i + 1]; ++p)
-        s += static_cast<double>(val[p]) * x[col[p]];
-      y[i] = s;
-    }
+    exec::pool().parallel_for(
+        0, n,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            double s = 0;
+            for (int p = ptr[i]; p < ptr[i + 1]; ++p)
+              s += static_cast<double>(val[p]) * x[col[p]];
+            y[i] = s;
+          }
+        },
+        /*grain=*/512);
   }
 
   void spmv(const std::vector<double>& x, std::vector<double>& y) const {
@@ -118,42 +127,55 @@ struct Bcsr {
   template <int NB>
   void spmv_fixed(const double* x, double* y) const {
     const std::size_t bsz = static_cast<std::size_t>(NB) * NB;
-    for (int i = 0; i < nrows; ++i) {
-      double acc[NB] = {};
-      for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
-        const S* b = &val[p * bsz];
-        const double* xj = &x[static_cast<std::size_t>(col[p]) * NB];
-        for (int r = 0; r < NB; ++r) {
-          double s = 0;
-          const S* row = b + static_cast<std::size_t>(r) * NB;
-          for (int c = 0; c < NB; ++c)
-            s += static_cast<double>(row[c]) * xj[c];
-          acc[r] += s;
-        }
-      }
-      double* yi = &y[static_cast<std::size_t>(i) * NB];
-      for (int r = 0; r < NB; ++r) yi[r] = acc[r];
-    }
+    // Block rows are independent: row-parallel, bit-identical for any
+    // thread count.
+    exec::pool().parallel_for(
+        0, nrows,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            double acc[NB] = {};
+            for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
+              const S* b = &val[p * bsz];
+              const double* xj = &x[static_cast<std::size_t>(col[p]) * NB];
+              for (int r = 0; r < NB; ++r) {
+                double s = 0;
+                const S* row = b + static_cast<std::size_t>(r) * NB;
+                for (int c = 0; c < NB; ++c)
+                  s += static_cast<double>(row[c]) * xj[c];
+                acc[r] += s;
+              }
+            }
+            double* yi = &y[static_cast<std::size_t>(i) * NB];
+            for (int r = 0; r < NB; ++r) yi[r] = acc[r];
+          }
+        },
+        /*grain=*/256);
   }
 
   void spmv_generic(const double* x, double* y) const {
     const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
-    for (int i = 0; i < nrows; ++i) {
-      double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-      F3D_ASSERT(nb <= 8);
-      for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
-        const S* b = &val[p * bsz];
-        const double* xj = &x[static_cast<std::size_t>(col[p]) * nb];
-        for (int r = 0; r < nb; ++r) {
-          double s = 0;
-          const S* row = b + static_cast<std::size_t>(r) * nb;
-          for (int c = 0; c < nb; ++c) s += static_cast<double>(row[c]) * xj[c];
-          acc[r] += s;
-        }
-      }
-      double* yi = &y[static_cast<std::size_t>(i) * nb];
-      for (int r = 0; r < nb; ++r) yi[r] = acc[r];
-    }
+    F3D_ASSERT(nb <= 8);
+    exec::pool().parallel_for(
+        0, nrows,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+            for (int p = ptr[i]; p < ptr[i + 1]; ++p) {
+              const S* b = &val[p * bsz];
+              const double* xj = &x[static_cast<std::size_t>(col[p]) * nb];
+              for (int r = 0; r < nb; ++r) {
+                double s = 0;
+                const S* row = b + static_cast<std::size_t>(r) * nb;
+                for (int c = 0; c < nb; ++c)
+                  s += static_cast<double>(row[c]) * xj[c];
+                acc[r] += s;
+              }
+            }
+            double* yi = &y[static_cast<std::size_t>(i) * nb];
+            for (int r = 0; r < nb; ++r) yi[r] = acc[r];
+          }
+        },
+        /*grain=*/256);
   }
 
   void spmv(const std::vector<double>& x, std::vector<double>& y) const {

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "exec/pool.hpp"
 #include "sparse/csr.hpp"
 
 namespace f3d::sparse {
@@ -31,6 +32,25 @@ struct IluPattern {
 /// (must contain the diagonal). level == 0 returns the input pattern.
 IluPattern ilu_symbolic(int n, const std::vector<int>& aptr,
                         const std::vector<int>& acol, int level);
+
+/// Level schedule of one triangular factor's dependency DAG: rows grouped
+/// into levels such that every row's in-factor dependencies sit in
+/// earlier levels — rows within a level solve in parallel. Rows are
+/// ascending within a level, so the per-row arithmetic of a scheduled
+/// solve is exactly the serial solve's: level-scheduled results are
+/// bit-identical to the serial ones for any thread count.
+struct TriSchedule {
+  std::vector<int> level_ptr;  ///< size num_levels()+1
+  std::vector<int> rows;       ///< rows grouped by level, ascending within
+  [[nodiscard]] int num_levels() const {
+    return static_cast<int>(level_ptr.empty() ? 0 : level_ptr.size() - 1);
+  }
+};
+
+/// Schedule of the forward (L, cols < diag) solve of `pat`.
+TriSchedule lower_levels(const IluPattern& pat);
+/// Schedule of the backward (U, cols > diag) solve of `pat`.
+TriSchedule upper_levels(const IluPattern& pat);
 
 /// Point ILU factors, storage scalar S (double or float).
 template <class S>
@@ -59,6 +79,43 @@ struct PointIlu {
     x.resize(b.size());
     solve(b.data(), x.data());
   }
+
+  /// Level-scheduled solve on the exec pool: levels in sequence, the rows
+  /// of a level in parallel. Per-row arithmetic is identical to solve(),
+  /// so the result is bit-identical for any thread count. `fwd`/`bwd`
+  /// come from lower_levels/upper_levels of this factor's pattern.
+  void solve_levels(const TriSchedule& fwd, const TriSchedule& bwd,
+                    const double* b, double* x) const {
+    auto& pool = exec::pool();
+    for (int l = 0; l < fwd.num_levels(); ++l) {
+      pool.parallel_for(
+          fwd.level_ptr[l], fwd.level_ptr[l + 1],
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t k = lo; k < hi; ++k) {
+              const int i = fwd.rows[k];
+              double s = b[i];
+              for (int p = pat.ptr[i]; p < pat.diag[i]; ++p)
+                s -= static_cast<double>(val[p]) * x[pat.col[p]];
+              x[i] = s;
+            }
+          },
+          /*grain=*/128);
+    }
+    for (int l = 0; l < bwd.num_levels(); ++l) {
+      pool.parallel_for(
+          bwd.level_ptr[l], bwd.level_ptr[l + 1],
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t k = lo; k < hi; ++k) {
+              const int i = bwd.rows[k];
+              double s = x[i];
+              for (int p = pat.diag[i] + 1; p < pat.ptr[i + 1]; ++p)
+                s -= static_cast<double>(val[p]) * x[pat.col[p]];
+              x[i] = s / static_cast<double>(val[pat.diag[i]]);
+            }
+          },
+          /*grain=*/128);
+    }
+  }
 };
 
 /// Block ILU factors; diagonal blocks are stored as their in-place LU
@@ -74,6 +131,11 @@ struct BlockIlu {
     x.resize(b.size());
     solve(b.data(), x.data());
   }
+
+  /// Level-scheduled variant of solve() (see PointIlu::solve_levels);
+  /// bit-identical to solve() for any thread count.
+  void solve_levels(const TriSchedule& fwd, const TriSchedule& bwd,
+                    const double* b, double* x) const;
 };
 
 /// Outcome of a numeric factorization when requested through the

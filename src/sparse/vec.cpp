@@ -3,46 +3,77 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/pool.hpp"
+#include "exec/reduce.hpp"
 
 namespace f3d::sparse {
 
+namespace {
+// Elements per parallel_for chunk for the elementwise kernels; small
+// vectors run inline with zero synchronization.
+constexpr std::int64_t kVecGrain = 8192;
+}  // namespace
+
 double dot(const Vec& x, const Vec& y) {
   F3D_CHECK(x.size() == y.size());
-  double s = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
-  return s;
+  // Fixed-block tree reduction: bit-identical for any thread count (the
+  // Krylov solvers' determinism hinges on this — see exec/reduce.hpp).
+  return exec::dot(static_cast<std::int64_t>(x.size()), x.data(), y.data());
 }
 
 double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
 
 void axpy(double a, const Vec& x, Vec& y) {
   F3D_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  exec::pool().parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) y[i] += a * x[i];
+      },
+      kVecGrain);
 }
 
 void aypx(double a, const Vec& x, Vec& y) {
   F3D_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + a * y[i];
+  exec::pool().parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) y[i] = x[i] + a * y[i];
+      },
+      kVecGrain);
 }
 
 void waxpy(Vec& w, double a, const Vec& x, const Vec& y) {
   F3D_CHECK(x.size() == y.size());
   w.resize(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + y[i];
+  exec::pool().parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) w[i] = a * x[i] + y[i];
+      },
+      kVecGrain);
 }
 
 void scale(Vec& x, double a) {
-  for (auto& v : x) v *= a;
+  exec::pool().parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) x[i] *= a;
+      },
+      kVecGrain);
 }
 
 void set_all(Vec& x, double a) {
-  for (auto& v : x) v = a;
+  exec::pool().parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) x[i] = a;
+      },
+      kVecGrain);
 }
 
 double norm_inf(const Vec& x) {
-  double m = 0;
-  for (double v : x) m = std::max(m, std::abs(v));
-  return m;
+  return exec::max_abs(static_cast<std::int64_t>(x.size()), x.data());
 }
 
 }  // namespace f3d::sparse
