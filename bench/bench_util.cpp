@@ -2,12 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "cfd/problem.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "mesh/ordering.hpp"
+#include "obs/trace.hpp"
 #include "partition/multilevel.hpp"
 #include "sparse/ilu.hpp"
 
@@ -149,121 +149,31 @@ par::SurfaceLaw measure_surface_law(const mesh::UnstructuredMesh& mesh,
   return par::fit_surface_law(samples);
 }
 
-Json& Json::set(const std::string& key, Json value) {
-  F3D_CHECK(kind == Kind::kObject);
-  for (auto& [k, v] : members)
-    if (k == key) {
-      v = std::move(value);
-      return *this;
-    }
-  members.emplace_back(key, std::move(value));
-  return *this;
-}
-
-Json& Json::push(Json value) {
-  F3D_CHECK(kind == Kind::kArray);
-  items.push_back(std::move(value));
-  return *this;
-}
-
 namespace {
 
-void json_escape(const std::string& s, std::string& out) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-void json_dump(const Json& v, int indent, int depth, std::string& out) {
-  const std::string pad(static_cast<std::size_t>(indent) * depth, ' ');
-  const std::string pad1(static_cast<std::size_t>(indent) * (depth + 1), ' ');
-  char buf[64];
-  switch (v.kind) {
-    case Json::Kind::kNull:
-      out += "null";
-      break;
-    case Json::Kind::kBool:
-      out += v.b ? "true" : "false";
-      break;
-    case Json::Kind::kInt:
-      std::snprintf(buf, sizeof buf, "%lld", v.i);
-      out += buf;
-      break;
-    case Json::Kind::kDouble:
-      if (std::isfinite(v.d)) {
-        std::snprintf(buf, sizeof buf, "%.17g", v.d);
-        out += buf;
-      } else {
-        out += "null";  // JSON has no inf/nan
-      }
-      break;
-    case Json::Kind::kString:
-      json_escape(v.s, out);
-      break;
-    case Json::Kind::kArray: {
-      if (v.items.empty()) {
-        out += "[]";
-        break;
-      }
-      out += "[\n";
-      for (std::size_t k = 0; k < v.items.size(); ++k) {
-        out += pad1;
-        json_dump(v.items[k], indent, depth + 1, out);
-        if (k + 1 < v.items.size()) out += ',';
-        out += '\n';
-      }
-      out += pad + "]";
-      break;
-    }
-    case Json::Kind::kObject: {
-      if (v.members.empty()) {
-        out += "{}";
-        break;
-      }
-      out += "{\n";
-      for (std::size_t k = 0; k < v.members.size(); ++k) {
-        out += pad1;
-        json_escape(v.members[k].first, out);
-        out += ": ";
-        json_dump(v.members[k].second, indent, depth + 1, out);
-        if (k + 1 < v.members.size()) out += ',';
-        out += '\n';
-      }
-      out += pad + "}";
-      break;
-    }
-  }
+// "results/BENCH_threading.json" -> "threading"; used for the envelope's
+// meta.experiment when the caller's payload is not already enveloped.
+std::string experiment_from_path(const std::string& path) {
+  std::string name = path;
+  const std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
+  const std::size_t dot = name.rfind('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name.empty() ? "unknown" : name;
 }
 
 }  // namespace
 
-std::string Json::dump(int indent) const {
-  std::string out;
-  json_dump(*this, indent, 0, out);
-  return out;
-}
-
 void write_json(const std::string& path, const Json& v) {
-  std::ofstream f(path);
-  F3D_CHECK_MSG(f.good(), "cannot open " + path + " for writing");
-  f << v.dump() << '\n';
-  F3D_CHECK_MSG(f.good(), "write to " + path + " failed");
+  const Json* out = &v;
+  Json enveloped;
+  if (!obs::is_bench_report(v)) {
+    enveloped = obs::make_bench_report(experiment_from_path(path), v);
+    out = &enveloped;
+  }
+  F3D_CHECK_MSG(obs::write_json_file(path, *out),
+                "cannot write " + path);
 }
 
 }  // namespace f3d::benchutil

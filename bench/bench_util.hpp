@@ -11,6 +11,7 @@
 
 #include "cfd/euler.hpp"
 #include "mesh/generator.hpp"
+#include "obs/json.hpp"
 #include "par/loadmodel.hpp"
 #include "par/stepmodel.hpp"
 #include "partition/partition.hpp"
@@ -66,47 +67,16 @@ par::SurfaceLaw measure_surface_law(const mesh::UnstructuredMesh& mesh,
                                     const std::vector<int>& part_counts,
                                     Partitioner partitioner = Partitioner::kKway);
 
-/// Minimal JSON value for the machine-readable BENCH_*.json artifacts.
-/// Objects keep insertion order; doubles print with %.17g so round-trips
-/// are exact.
-struct Json {
-  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  long long i = 0;
-  double d = 0;
-  std::string s;
-  std::vector<Json> items;                            ///< kArray
-  std::vector<std::pair<std::string, Json>> members;  ///< kObject
+/// JSON value for the machine-readable BENCH_*.json artifacts. Now the
+/// observability layer's value type (objects keep insertion order;
+/// doubles print with %.17g so round-trips are exact).
+using Json = obs::Json;
 
-  Json() = default;
-  Json(bool v) : kind(Kind::kBool), b(v) {}
-  Json(int v) : kind(Kind::kInt), i(v) {}
-  Json(long long v) : kind(Kind::kInt), i(v) {}
-  Json(double v) : kind(Kind::kDouble), d(v) {}
-  Json(const char* v) : kind(Kind::kString), s(v) {}
-  Json(std::string v) : kind(Kind::kString), s(std::move(v)) {}
-
-  static Json object() {
-    Json j;
-    j.kind = Kind::kObject;
-    return j;
-  }
-  static Json array() {
-    Json j;
-    j.kind = Kind::kArray;
-    return j;
-  }
-  /// Insert/overwrite an object member (keeps first-insertion order).
-  Json& set(const std::string& key, Json value);
-  /// Append an array element.
-  Json& push(Json value);
-
-  [[nodiscard]] std::string dump(int indent = 2) const;
-};
-
-/// Serialize `v` to `path` (pretty-printed, trailing newline). Throws
-/// f3d::Error if the file cannot be written.
+/// Serialize `v` to `path` (pretty-printed, trailing newline), wrapped in
+/// the unified f3d-bench-v1 envelope {"meta": {...}, "series": v} unless
+/// `v` already carries one. The experiment name is derived from the file
+/// name ("BENCH_threading.json" -> "threading"). Throws f3d::Error if the
+/// file cannot be written.
 void write_json(const std::string& path, const Json& v);
 
 }  // namespace f3d::benchutil

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Docs gate: validate the machine-readable artifacts and the markdown.
+
+Checks, in order:
+  1. Every committed BENCH_*.json carries the unified f3d-bench-v1
+     envelope ({"meta": {"schema", "experiment"}, "series": ...}).
+  2. Optionally (--trace FILE) a Chrome trace emitted by F3D_TRACE=1
+     matches the f3d-trace-v1 schema: non-empty traceEvents, each event
+     a complete ("ph" == "X") event with name/ts/dur/pid/tid, and the
+     meta block carrying the schema tag. With --min-coverage, the
+     depth-1 spans on the root span's tid must account for at least
+     that fraction of the root span's duration.
+  3. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
+     ROADMAP.md, or docs/*.md.
+
+Stdlib only; exits nonzero with one line per problem found.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+BENCH_SCHEMA = "f3d-bench-v1"
+TRACE_SCHEMA = "f3d-trace-v1"
+
+MARKDOWN_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+
+
+def check_bench_report(path, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON ({e})")
+        return
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append(f"{path}: missing meta object")
+        return
+    if meta.get("schema") != BENCH_SCHEMA:
+        errors.append(f"{path}: meta.schema is {meta.get('schema')!r}, "
+                      f"expected {BENCH_SCHEMA!r}")
+    if not isinstance(meta.get("experiment"), str) or not meta["experiment"]:
+        errors.append(f"{path}: meta.experiment must be a non-empty string")
+    if "series" not in doc:
+        errors.append(f"{path}: missing series member")
+
+
+def check_trace(path, min_coverage, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON ({e})")
+        return
+    meta = doc.get("meta", {})
+    if meta.get("schema") != TRACE_SCHEMA:
+        errors.append(f"{path}: meta.schema is {meta.get('schema')!r}, "
+                      f"expected {TRACE_SCHEMA!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append(f"{path}: traceEvents missing or empty")
+        return
+    for k, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                errors.append(f"{path}: event {k} missing {key!r}")
+        if e.get("ph") == "X" and "dur" not in e:
+            errors.append(f"{path}: complete event {k} missing 'dur'")
+    if min_coverage > 0:
+        roots = [e for e in events if e.get("name") == "ptc_solve"]
+        if not roots:
+            errors.append(f"{path}: no ptc_solve root span for the "
+                          "coverage check")
+            return
+        root = roots[-1]
+        covered = sum(
+            e.get("dur", 0.0) for e in events
+            if e.get("tid") == root.get("tid")
+            and e.get("args", {}).get("depth") == 1)
+        frac = covered / root["dur"] if root.get("dur") else 0.0
+        if frac < min_coverage:
+            errors.append(
+                f"{path}: depth-1 spans cover {frac:.1%} of the root span, "
+                f"need >= {min_coverage:.0%}")
+
+
+def check_markdown_links(repo_root, errors):
+    files = [os.path.join(repo_root, f) for f in MARKDOWN_FILES]
+    files += sorted(glob.glob(os.path.join(repo_root, "docs", "*.md")))
+    for md in files:
+        if not os.path.isfile(md):
+            continue
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(2)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(md, repo_root)
+                    errors.append(f"{rel}:{lineno}: dead link -> {m.group(2)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace JSON to validate")
+    ap.add_argument("--min-coverage", type=float, default=0.0,
+                    help="required depth-1 coverage of the ptc_solve root "
+                         "span (e.g. 0.9); 0 disables the check")
+    ap.add_argument("--repo", default=None,
+                    help="repo root (default: parent of this script)")
+    args = ap.parse_args()
+
+    repo_root = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    errors = []
+
+    bench_files = sorted(glob.glob(os.path.join(repo_root, "BENCH_*.json")))
+    if not bench_files:
+        errors.append("no committed BENCH_*.json found at the repo root")
+    for path in bench_files:
+        check_bench_report(path, errors)
+
+    if args.trace:
+        check_trace(args.trace, args.min_coverage, errors)
+
+    check_markdown_links(repo_root, errors)
+
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}", file=sys.stderr)
+        return 1
+    n_md = len(MARKDOWN_FILES) + len(glob.glob(
+        os.path.join(repo_root, "docs", "*.md")))
+    print(f"check_docs: OK ({len(bench_files)} bench report(s), "
+          f"{'1 trace, ' if args.trace else ''}{n_md} markdown file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,14 @@
 #   2. thread-scaling bench of the exec-layer kernels (writes
 #      BENCH_threading.json; also re-verifies bit-identity across thread
 #      counts and exits nonzero on any mismatch)
-#   3. ASan+UBSan build + the resilience-labelled tests (the fault
+#   3. docs gate: a traced quickstart run must produce a schema-valid
+#      Chrome trace whose phase spans cover >=90% of the solve, every
+#      committed BENCH_*.json must carry the f3d-bench-v1 envelope, and
+#      the markdown must have no dead relative links
+#   4. ASan+UBSan build + the resilience-labelled tests (the fault
 #      injection / recovery / checkpoint / distributed-campaign paths,
 #      where memory bugs would hide behind error handling)
-#   4. TSan build + the threaded-labelled tests (the exec pool, colored
+#   5. TSan build + the threaded-labelled tests (the exec pool, colored
 #      scatters, level-scheduled solves) with a 4-thread pool
 #
 # Usage: scripts/ci.sh [-j N]
@@ -30,6 +34,10 @@ ctest --preset release -j "$JOBS"
 
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
+
+echo "=== docs gate: trace schema + bench envelopes + markdown links ==="
+F3D_TRACE=1 F3D_TRACE_OUT=build/ci_trace.json ./build/examples/quickstart
+python3 scripts/check_docs.py --trace build/ci_trace.json --min-coverage 0.9
 
 echo "=== asan build + resilience-labelled tests ==="
 cmake --preset asan

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "exec/pool.hpp"
+#include "obs/obs.hpp"
 
 namespace f3d::cfd {
 
@@ -36,6 +37,7 @@ FlowField EulerDiscretization::make_freestream_field() const {
 
 void EulerDiscretization::gradients(const FlowField& q,
                                     std::vector<double>& grad) const {
+  F3D_OBS_SPAN("gradient");
   const int nv = num_vertices();
   const int ncomp = nb();
   grad.assign(static_cast<std::size_t>(nv) * ncomp * 3, 0.0);
@@ -84,6 +86,7 @@ void EulerDiscretization::gradients(const FlowField& q,
 void EulerDiscretization::limiters(const FlowField& q,
                                    const std::vector<double>& grad,
                                    std::vector<double>& phi) const {
+  F3D_OBS_SPAN("limiter");
   const int nv = num_vertices();
   const int ncomp = nb();
   phi.assign(static_cast<std::size_t>(nv) * ncomp, 1.0);
@@ -225,6 +228,7 @@ void EulerDiscretization::residual_impl(const FlowField& q,
   const std::size_t st = q.stride();
   double* out = r.data();
 
+  F3D_OBS_SPAN("flux_scatter");
   // Flux scatter over the conflict-free color classes: within a class no
   // two edges touch a vertex, so threads write disjoint residual slots
   // and each vertex accumulates in class order regardless of thread count.
@@ -294,6 +298,7 @@ void EulerDiscretization::residual_threaded(const FlowField& q,
 
 void EulerDiscretization::spectral_radius(const FlowField& q,
                                           std::vector<double>& sr) const {
+  F3D_OBS_SPAN("spectral_radius");
   const int nv = num_vertices();
   const int ncomp = nb();
   sr.assign(nv, 0.0);
@@ -352,6 +357,7 @@ sparse::Bcsr<double> EulerDiscretization::allocate_jacobian() const {
 
 void EulerDiscretization::jacobian(const FlowField& q,
                                    sparse::Bcsr<double>& jac) const {
+  F3D_OBS_SPAN("jacobian_assembly");
   const int ncomp = nb();
   const std::size_t bsz = static_cast<std::size_t>(ncomp) * ncomp;
   F3D_CHECK(jac.nrows == stencil_.n && jac.nb == ncomp);

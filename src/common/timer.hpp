@@ -5,6 +5,8 @@
 #include <map>
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace f3d {
 
 /// Monotonic wall-clock stopwatch.
@@ -27,6 +29,11 @@ private:
 /// Accumulates named time buckets (e.g. "flux", "spmv", "trisolve").
 /// Used by the solver to report the per-phase breakdown the paper's
 /// Table 3 analyses.
+///
+/// A thin shim over obs::Registry time buckets: concurrent Scope
+/// destructors (e.g. from exec::Pool workers) accumulate into
+/// per-thread-striped shards, so adds never race on a shared map the way
+/// the old std::map-backed implementation did.
 class PhaseTimers {
 public:
   /// RAII scope: adds elapsed time to the named bucket on destruction.
@@ -44,27 +51,27 @@ public:
     Timer t_;
   };
 
-  void add(const std::string& name, double sec) { buckets_[name] += sec; }
+  void add(const std::string& name, double sec) { reg_.add_time(name, sec); }
 
   [[nodiscard]] double get(const std::string& name) const {
-    auto it = buckets_.find(name);
-    return it == buckets_.end() ? 0.0 : it->second;
+    return reg_.seconds(name);
   }
 
-  [[nodiscard]] double total() const {
-    double s = 0;
-    for (const auto& [k, v] : buckets_) s += v;
-    return s;
+  [[nodiscard]] double total() const { return reg_.total_time(); }
+
+  /// Merged view of the buckets (by value: the per-thread shards are
+  /// folded together at the call).
+  [[nodiscard]] std::map<std::string, double> buckets() const {
+    return reg_.snapshot().times;
   }
 
-  [[nodiscard]] const std::map<std::string, double>& buckets() const {
-    return buckets_;
-  }
+  void clear() { reg_.clear(); }
 
-  void clear() { buckets_.clear(); }
+  /// The backing registry (counters/gauges ride along with the times).
+  [[nodiscard]] obs::Registry& registry() { return reg_; }
 
 private:
-  std::map<std::string, double> buckets_;
+  obs::Registry reg_;
 };
 
 }  // namespace f3d

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
+
 namespace f3d::exec {
 
 namespace {
@@ -54,6 +56,9 @@ void ThreadPool::run_chunk(int id) {
   const std::int64_t hi = begin_ + n * (id + 1) / participants_;
   tl_in_parallel = true;
   try {
+    // Recorded into the executing thread's buffer, so a trace shows the
+    // chunks of one parallel_for fanned out across worker rows.
+    F3D_OBS_SPAN("exec.chunk");
     (*body_)(lo, hi);
   } catch (...) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -88,6 +93,8 @@ void ThreadPool::parallel_for(
     body(begin, end);
     return;
   }
+  F3D_OBS_SPAN("exec.parallel_for");
+  obs::Registry::global().count("exec.parallel_for.dispatches");
   {
     std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;

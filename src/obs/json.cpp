@@ -1,0 +1,340 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace f3d::obs {
+
+void fail(const std::string& msg) {
+  throw std::runtime_error("f3d::obs: " + msg);
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind != Kind::kObject) fail("Json::set on a non-object");
+  for (auto& [k, v] : members)
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  members.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind != Kind::kArray) fail("Json::push on a non-array");
+  items.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Json::number() const {
+  if (kind == Kind::kInt) return static_cast<double>(i);
+  if (kind == Kind::kDouble) return d;
+  fail("Json::number on a non-numeric node");
+}
+
+namespace {
+
+void json_escape(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void json_dump(const Json& v, int indent, int depth, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent) * depth, ' ');
+  const std::string pad1(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  char buf[64];
+  switch (v.kind) {
+    case Json::Kind::kNull:
+      out += "null";
+      break;
+    case Json::Kind::kBool:
+      out += v.b ? "true" : "false";
+      break;
+    case Json::Kind::kInt:
+      std::snprintf(buf, sizeof buf, "%lld", v.i);
+      out += buf;
+      break;
+    case Json::Kind::kDouble:
+      if (std::isfinite(v.d)) {
+        std::snprintf(buf, sizeof buf, "%.17g", v.d);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    case Json::Kind::kString:
+      json_escape(v.s, out);
+      break;
+    case Json::Kind::kArray: {
+      if (v.items.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t k = 0; k < v.items.size(); ++k) {
+        out += pad1;
+        json_dump(v.items[k], indent, depth + 1, out);
+        if (k + 1 < v.items.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      break;
+    }
+    case Json::Kind::kObject: {
+      if (v.members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t k = 0; k < v.members.size(); ++k) {
+        out += pad1;
+        json_escape(v.members[k].first, out);
+        out += ": ";
+        json_dump(v.members[k].second, indent, depth + 1, out);
+        if (k + 1 < v.members.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+// --- parser -----------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) error("trailing characters after value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& what) const {
+    fail("JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (!consume_literal("true")) error("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) error("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) error("bad literal");
+        return Json();
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json v = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json v = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) error("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) error("truncated \\u escape");
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else error("bad \\u escape digit");
+          }
+          // Basic-plane code point to UTF-8 (we only ever emit < 0x20).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          error("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) error("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    if (is_double) {
+      const double d = std::strtod(tok.c_str(), &end);
+      if (end == nullptr || *end != '\0') error("bad number '" + tok + "'");
+      return Json(d);
+    }
+    const long long i = std::strtoll(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') error("bad number '" + tok + "'");
+    return Json(i);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  json_dump(*this, indent, 0, out);
+  return out;
+}
+
+Json parse_json(const std::string& text) { return Parser(text).parse(); }
+
+bool write_json_file(const std::string& path, const Json& v) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << v.dump() << '\n';
+  return f.good();
+}
+
+}  // namespace f3d::obs

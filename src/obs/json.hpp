@@ -1,0 +1,77 @@
+#pragma once
+// Minimal JSON value type for the machine-readable artifacts of the
+// observability layer: BENCH_*.json reports (meta+series schema, see
+// docs/OBSERVABILITY.md) and Chrome trace_event files. Objects keep
+// insertion order; doubles print with %.17g so dump -> parse round-trips
+// are exact. The parser accepts exactly the subset dump() emits (strict
+// JSON, no comments, no trailing commas).
+//
+// This header is part of f3d::obs, which sits below every other library
+// in the stack — it deliberately depends on nothing but the standard
+// library (errors are std::runtime_error, not f3d::Error).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace f3d::obs {
+
+/// Throws std::runtime_error with an "f3d::obs: " prefix.
+[[noreturn]] void fail(const std::string& msg);
+
+struct Json {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  long long i = 0;
+  double d = 0;
+  std::string s;
+  std::vector<Json> items;                            ///< kArray
+  std::vector<std::pair<std::string, Json>> members;  ///< kObject
+
+  Json() = default;
+  Json(bool v) : kind(Kind::kBool), b(v) {}
+  Json(int v) : kind(Kind::kInt), i(v) {}
+  Json(long long v) : kind(Kind::kInt), i(v) {}
+  Json(double v) : kind(Kind::kDouble), d(v) {}
+  Json(const char* v) : kind(Kind::kString), s(v) {}
+  Json(std::string v) : kind(Kind::kString), s(std::move(v)) {}
+
+  static Json object() {
+    Json j;
+    j.kind = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind = Kind::kArray;
+    return j;
+  }
+
+  /// Insert/overwrite an object member (keeps first-insertion order).
+  Json& set(const std::string& key, Json value);
+  /// Append an array element.
+  Json& push(Json value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Numeric value of a kInt or kDouble node.
+  [[nodiscard]] double number() const;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  [[nodiscard]] std::string dump(int indent = 2) const;
+};
+
+/// Strict parser for the subset dump() writes (which is all of JSON minus
+/// exotic escapes). Throws std::runtime_error with position info on
+/// malformed input.
+Json parse_json(const std::string& text);
+
+/// Serialize `v` to `path` (pretty-printed, trailing newline). Returns
+/// false if the file cannot be opened or written.
+bool write_json_file(const std::string& path, const Json& v);
+
+}  // namespace f3d::obs

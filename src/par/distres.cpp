@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "resilience/buddy.hpp"
 #include "resilience/checkpoint.hpp"
 
@@ -127,6 +128,7 @@ CampaignResult simulate_campaign(const perf::MachineModel& machine,
 
   const int nsteps = static_cast<int>(steps.size());
   for (int s = 0; s < nsteps; ++s) {
+    F3D_OBS_SPAN("campaign.step");
     StepBreakdown b = model_step(machine, load, work,
                                  steps[static_cast<std::size_t>(s)], opts.mode,
                                  comm);
@@ -149,6 +151,7 @@ CampaignResult simulate_campaign(const perf::MachineModel& machine,
         r.rank_alive[static_cast<std::size_t>(f)] = 0;
         --alive;
         ++r.rank_failures;
+        obs::Registry::global().count("par.rank_failures");
         r.log.add(s, resilience::RecoveryAction::kDetectRankFail,
                   "rank " + std::to_string(f));
       }

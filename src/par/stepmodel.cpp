@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "resilience/faults.hpp"
 
 namespace f3d::par {
@@ -165,6 +166,7 @@ StepBreakdown model_step(const perf::MachineModel& machine,
         t += backoff + resend_cost;
         backoff *= 2.0;
         ++out.retransmits;
+        obs::Registry::global().count("par.halo_retransmits");
         ++tries;
       } while (tries < comm->max_retries &&
                resilience::fault_fires(resilience::FaultSite::kMessage));

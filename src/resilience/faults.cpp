@@ -1,6 +1,7 @@
 #include "resilience/faults.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace f3d::resilience {
 
@@ -62,7 +63,10 @@ bool FaultInjector::should_fire(FaultSite site) {
     const int past = draw - s.plan.skip_first;
     fire = past >= 0 && past % s.plan.fire_every == 0;
   }
-  if (fire) ++s.fires;
+  if (fire) {
+    ++s.fires;
+    obs::Registry::global().count("resilience.fault_fires");
+  }
   return fire;
 }
 

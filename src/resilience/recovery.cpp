@@ -1,6 +1,14 @@
 #include "resilience/recovery.hpp"
 
+#include "obs/obs.hpp"
+
 namespace f3d::resilience {
+
+void RecoveryLog::add(int step, RecoveryAction action, std::string detail) {
+  events_.push_back({step, action, std::move(detail)});
+  obs::Registry::global().count(std::string("resilience.") +
+                                recovery_action_name(action));
+}
 
 const char* recovery_action_name(RecoveryAction action) {
   switch (action) {

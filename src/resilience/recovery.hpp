@@ -44,9 +44,9 @@ struct RecoveryEvent {
 
 class RecoveryLog {
 public:
-  void add(int step, RecoveryAction action, std::string detail = {}) {
-    events_.push_back({step, action, std::move(detail)});
-  }
+  /// Appends the event and tallies it into the process-wide observability
+  /// registry as "resilience.<action-name>" (defined in recovery.cpp).
+  void add(int step, RecoveryAction action, std::string detail = {});
 
   [[nodiscard]] const std::vector<RecoveryEvent>& events() const {
     return events_;

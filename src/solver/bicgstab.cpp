@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "resilience/faults.hpp"
 #include "sparse/vec.hpp"
 
@@ -102,6 +103,9 @@ BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
 
   res.final_residual = rnorm;
   res.converged = rnorm <= target;
+  auto& reg = obs::Registry::global();
+  reg.count("solver.bicgstab.iterations", res.iterations);
+  if (res.breakdown) reg.count("solver.bicgstab.breakdowns");
   return res;
 }
 

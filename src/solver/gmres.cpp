@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "resilience/faults.hpp"
 #include "sparse/vec.hpp"
 
@@ -164,12 +165,14 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
   resid = res.initial_residual;
 
   int stagnant_cycles = 0;
+  int restart_cycles = 0;
   while (res.iterations < opts.max_iters && resid > target) {
     const double resid_before = resid;
     const int room = std::min(opts.restart, opts.max_iters - res.iterations);
     const int done = gmres_cycle(a, m, b, x, room, target, &resid, opts.orth,
                                  res.counters);
     res.iterations += done;
+    ++restart_cycles;
     if (done == 0) break;  // stagnation or immediate convergence
     // Stagnation watchdog: stop burning restarts that make no progress.
     if (resid > target && resid >= opts.stagnation_factor * resid_before) {
@@ -191,6 +194,10 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
                      ? "max_iters (" + std::to_string(opts.max_iters) +
                            ") exhausted"
                      : "no progress in first cycle";
+  auto& reg = obs::Registry::global();
+  reg.count("solver.gmres.iterations", res.iterations);
+  reg.count("solver.gmres.restart_cycles", restart_cycles);
+  if (res.stagnated) reg.count("solver.gmres.stagnations");
   return res;
 }
 

@@ -9,6 +9,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "resilience/checkpoint.hpp"
 #include "sparse/vec.hpp"
 
@@ -33,10 +35,10 @@ bool all_finite(const std::vector<double>& v) {
   return true;
 }
 
-}  // namespace
-
-PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
-                    const PtcOptions& opts) {
+// The actual solve. Wrapped by ptc_solve() below, which owns the root
+// trace span and the env-requested trace flush.
+PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
+                         const PtcOptions& opts) {
   const int n = problem.num_unknowns();
   const int nb = problem.nb();
   const int nv = problem.num_vertices();
@@ -69,6 +71,7 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
   auto eval_residual = [&](const std::vector<double>& xx,
                            std::vector<double>& rr, const char* what) {
     {
+      F3D_OBS_SPAN("flux");
       PhaseTimers::Scope scope(result.phases, "flux");
       problem.residual(xx, rr);
     }
@@ -141,6 +144,7 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
   std::unique_ptr<RefactorablePreconditioner> prec;
   part::Partition partition = opts.partition;
   if (partition.nparts == 0) {
+    F3D_OBS_SPAN("partition");
     partition = part::kway_grow(graph_from_jacobian(jac), opts.num_subdomains);
   }
   F3D_CHECK(partition.nparts == opts.num_subdomains);
@@ -192,6 +196,7 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
         if (!prec || force_refresh ||
             (step % std::max(1, opts.jacobian_refresh)) == 0) {
           {
+            F3D_OBS_SPAN("jacobian");
             PhaseTimers::Scope scope(result.phases, "jacobian");
             problem.jacobian(x, jac);
           }
@@ -200,6 +205,7 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
             F3D_CHECK(blk != nullptr);
             for (int c = 0; c < nb; ++c) blk[c * nb + c] += diag[v];
           }
+          F3D_OBS_SPAN("factor");
           PhaseTimers::Scope scope(result.phases, "factor");
           if (!prec) {
             if (resilient) {
@@ -288,6 +294,8 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
         std::fill(dx.begin(), dx.end(), 0.0);
         int lin_retries = 0;
         bool swapped_this_solve = false;
+        {
+        F3D_OBS_SPAN("krylov");
         for (;;) {
           if (krylov_active == PtcOptions::Krylov::kBicgstab) {
             BicgstabOptions bo;
@@ -355,6 +363,7 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
             }
           }
           break;
+        }
         }
         result.phases.add("krylov", krylov_timer.seconds());
         if (nan_seen) return false;
@@ -449,6 +458,7 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
     // Periodic checkpoint of the committed state.
     if (resilient && rec.checkpoint_every > 0 && !rec.checkpoint_path.empty() &&
         result.steps % rec.checkpoint_every == 0) {
+      F3D_OBS_SPAN("checkpoint");
       resilience::PtcCheckpoint ck;
       ck.step = step + 1;
       ck.steps_done = result.steps;
@@ -473,6 +483,29 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
 
   result.final_residual = rnorm;
   result.converged = rnorm / r0 <= opts.rtol;
+  return result;
+}
+
+}  // namespace
+
+PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
+                    const PtcOptions& opts) {
+  PtcResult result;
+  {
+    obs::Span root("ptc_solve");
+    result = ptc_solve_impl(problem, x, opts);
+  }
+  // Fold the solve's tallies into the process-wide registry so trace
+  // files and bench reports can embed them next to the span timeline.
+  auto& reg = obs::Registry::global();
+  reg.count("solver.ptc.steps", result.steps);
+  reg.count("solver.ptc.rejections", result.steps_rejected);
+  reg.count("solver.ptc.function_evaluations", result.function_evaluations);
+  reg.count("solver.krylov.iterations", result.total_linear_iterations);
+  reg.count("solver.krylov.breakdowns", result.krylov_breakdowns);
+  // Writes the Chrome trace iff the F3D_TRACE environment variable asked
+  // for one; a plain set_tracing(true) caller drains the tracer itself.
+  obs::flush_env_trace();
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/densemat.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "resilience/faults.hpp"
 
 namespace f3d::solver {
@@ -255,6 +256,8 @@ bool SchwarzPreconditioner::refactor_checked(const sparse::Bcsr<double>& a,
 }
 
 void SchwarzPreconditioner::apply(const double* r, double* z) const {
+  F3D_OBS_SPAN("precond");
+  obs::Registry::global().count("solver.precond.applies");
   std::fill(z, z + n_, 0.0);
   std::vector<double> rl, zl;
   for (const auto& sd : subs_) {

@@ -6,6 +6,7 @@
 
 #include "common/densemat.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace f3d::sparse {
 
@@ -132,6 +133,8 @@ bool pivot_failure(IluFactorStatus* status, int row) {
 std::vector<double> factor_point_double(const Csr<double>& a,
                                         const IluPattern& pat,
                                         IluFactorStatus* status) {
+  F3D_OBS_SPAN("ilu.factor");
+  obs::Registry::global().count("sparse.ilu.factorizations");
   F3D_CHECK(a.n == pat.n);
   const int n = pat.n;
   std::vector<double> val(pat.nnz(), 0.0);
@@ -171,6 +174,8 @@ std::vector<double> factor_point_double(const Csr<double>& a,
 std::vector<double> factor_block_double(const Bcsr<double>& a,
                                         const IluPattern& pat,
                                         IluFactorStatus* status) {
+  F3D_OBS_SPAN("ilu.factor");
+  obs::Registry::global().count("sparse.ilu.factorizations");
   F3D_CHECK(a.nrows == pat.n);
   const int n = pat.n;
   const int nb = a.nb;

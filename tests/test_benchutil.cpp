@@ -6,13 +6,41 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "bench_util.hpp"
 #include "cfd/euler.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
 using namespace f3d;
+
+TEST(BenchUtil, WriteJsonWrapsInBenchEnvelope) {
+  auto payload = benchutil::Json::object();
+  payload.set("points", 3).set("label", "demo");
+  const std::string path = ::testing::TempDir() + "BENCH_envelope_check.json";
+  benchutil::write_json(path, payload);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto parsed = obs::parse_json(ss.str());
+  ASSERT_TRUE(obs::is_bench_report(parsed));
+  EXPECT_EQ(parsed.find("meta")->find("experiment")->s, "envelope_check");
+  EXPECT_DOUBLE_EQ(parsed.find("series")->find("points")->number(), 3);
+
+  // Re-writing an already-enveloped value must not double-wrap.
+  benchutil::write_json(path, parsed);
+  std::ifstream in2(path);
+  std::stringstream ss2;
+  ss2 << in2.rdbuf();
+  auto parsed2 = obs::parse_json(ss2.str());
+  EXPECT_EQ(parsed2.find("series")->find("points")->number(), 3);
+  EXPECT_EQ(parsed2.dump(), parsed.dump());
+}
 
 TEST(BenchUtil, FitRecoversExactPowerLaw) {
   // its = 7 * P^0.25 exactly.

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
 
 #include "cfd/problem.hpp"
 #include "io/vtk.hpp"
 #include "mesh/generator.hpp"
 #include "mesh/ordering.hpp"
+#include "obs/obs.hpp"
 #include "partition/multilevel.hpp"
 #include "perf/machine.hpp"
 #include "solver/newton.hpp"
@@ -102,6 +105,59 @@ TEST(Integration, PhaseTimersRecordTheTwoPhases) {
   EXPECT_GT(res.phases.get("jacobian"), 0.0);
   // Everything accounted is positive and flux dominates the FD solver.
   EXPECT_GT(res.phases.total(), res.phases.get("factor"));
+}
+
+TEST(Integration, TracedSolveEmitsPhaseSpans) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  obs::Tracer::global().clear();
+  obs::set_tracing(true);
+  auto res = solver::ptc_solve(prob, x, base_opts());
+  obs::set_tracing(false);
+  ASSERT_TRUE(res.converged);
+
+  auto ev = obs::Tracer::global().drain();
+  ASSERT_FALSE(ev.empty());
+  // The root span plus every phase the PhaseTimers report covers.
+  std::map<std::string, int> count;
+  for (const auto& e : ev) ++count[e.name];
+  EXPECT_EQ(count["ptc_solve"], 1);
+  for (const char* phase : {"flux", "jacobian", "factor", "krylov", "precond"})
+    EXPECT_GT(count[phase], 0) << phase;
+
+  // The phase spans under the root account for the bulk of its wall time
+  // (lenient 50% bound: a tiny solve has real partition/setup overhead and
+  // timing noise, the ci.sh gate checks the >=90% claim on a real run).
+  const obs::SpanEvent* root = nullptr;
+  for (const auto& e : ev)
+    if (std::string(e.name) == "ptc_solve") root = &e;
+  ASSERT_NE(root, nullptr);
+  double covered_us = 0;
+  for (const auto& e : ev)
+    if (e.tid == root->tid && e.depth == root->depth + 1)
+      covered_us += e.duration_us();
+  EXPECT_GE(covered_us, 0.5 * root->duration_us());
+  EXPECT_LE(covered_us, 1.001 * root->duration_us());
+}
+
+TEST(Integration, TracingOffLeavesNoSpans) {
+  auto m = small_wing();
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  obs::Tracer::global().clear();
+  obs::set_tracing(false);
+  auto res = solver::ptc_solve(prob, x, base_opts());
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(obs::Tracer::global().drain().empty());
 }
 
 TEST(Integration, CoarseSpaceInPtcConverges) {
