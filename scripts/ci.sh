@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Full CI gate in one command:
-#   1. release build + complete test suite
+#   1. release build + complete test suite, then the sdc-labelled subset
+#      on its own (ABFT guards, bit-flip injection, Json/checkpoint
+#      hardening) so SDC regressions are visible as their own stage
 #   2. thread-scaling bench of the exec-layer kernels (writes
 #      BENCH_threading.json; also re-verifies bit-identity across thread
-#      counts and exits nonzero on any mismatch)
+#      counts and exits nonzero on any mismatch), then the SDC injection
+#      campaign (writes BENCH_sdc.json; exits nonzero when exponent-flip
+#      detection coverage drops below 90%, a clean run false-positives,
+#      or guard overhead exceeds 10%)
 #   3. docs gate: a traced quickstart run must produce a schema-valid
 #      Chrome trace whose phase spans cover >=90% of the solve, every
 #      committed BENCH_*.json must carry the f3d-bench-v1 envelope, and
 #      the markdown must have no dead relative links
 #   4. ASan+UBSan build + the resilience-labelled tests (the fault
 #      injection / recovery / checkpoint / distributed-campaign paths,
-#      where memory bugs would hide behind error handling)
+#      where memory bugs would hide behind error handling) + the
+#      sdc-labelled tests under the same sanitizers
 #   5. TSan build + the threaded-labelled tests (the exec pool, colored
 #      scatters, level-scheduled solves) with a 4-thread pool
 #
@@ -32,8 +38,14 @@ cmake --preset release
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
+echo "=== sdc-labelled tests (release) ==="
+ctest --preset release-sdc -j "$JOBS"
+
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
+
+echo "=== SDC injection campaign (BENCH_sdc.json) ==="
+./build/bench/bench_sdc -out BENCH_sdc.json
 
 echo "=== docs gate: trace schema + bench envelopes + markdown links ==="
 F3D_TRACE=1 F3D_TRACE_OUT=build/ci_trace.json ./build/examples/quickstart
@@ -43,6 +55,7 @@ echo "=== asan build + resilience-labelled tests ==="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan-resilience -j "$JOBS"
+ctest --preset asan-sdc -j "$JOBS"
 
 echo "=== tsan build + threaded-labelled tests ==="
 cmake --preset tsan

@@ -1,0 +1,67 @@
+#include "cfd/admissibility.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "cfd/flux.hpp"
+#include "exec/pool.hpp"
+#include "obs/obs.hpp"
+
+namespace f3d::cfd {
+
+namespace {
+
+bool vertex_admissible(const FlowConfig& cfg, const double* q, int nb) {
+  for (int c = 0; c < nb; ++c)
+    if (!std::isfinite(q[c])) return false;
+  if (cfg.model == Model::kCompressible) {
+    if (q[0] <= 0) return false;                // density
+    if (pressure(cfg, q) <= 0) return false;    // ideal-gas pressure
+  }
+  return true;
+}
+
+}  // namespace
+
+AdmissibilityReport scan_admissibility(const FlowConfig& cfg, const double* x,
+                                       int num_vertices) {
+  const int nb = cfg.nb();
+  // Integer accumulation and min are order-independent, so atomics keep
+  // the verdict bit-identical for any thread count.
+  std::atomic<long long> violations{0};
+  std::atomic<int> first_bad{num_vertices};
+  exec::pool().parallel_for(
+      0, num_vertices,
+      [&](std::int64_t lo, std::int64_t hi) {
+        long long local = 0;
+        int local_first = num_vertices;
+        for (std::int64_t v = lo; v < hi; ++v) {
+          const double* q = x + static_cast<std::size_t>(v) * nb;
+          if (!vertex_admissible(cfg, q, nb)) {
+            ++local;
+            if (static_cast<int>(v) < local_first)
+              local_first = static_cast<int>(v);
+          }
+        }
+        if (local > 0) {
+          violations.fetch_add(local, std::memory_order_relaxed);
+          int seen = first_bad.load(std::memory_order_relaxed);
+          while (local_first < seen &&
+                 !first_bad.compare_exchange_weak(seen, local_first,
+                                                  std::memory_order_relaxed)) {
+          }
+        }
+      },
+      /*grain=*/1024);
+
+  AdmissibilityReport rep;
+  rep.violations = violations.load();
+  rep.first_bad_vertex =
+      rep.violations > 0 ? first_bad.load() : -1;
+  if (rep.violations > 0)
+    obs::Registry::global().count("cfd.admissibility_violations",
+                                  rep.violations);
+  return rep;
+}
+
+}  // namespace f3d::cfd

@@ -1,0 +1,45 @@
+#pragma once
+// Post-step physical-admissibility scan — the numerical health watchdog's
+// cheapest layer. A silent bit flip that lands in the state vector often
+// produces values that are finite (so no NaN guard fires) but physically
+// impossible: negative density, negative pressure, or magnitudes far
+// outside anything the flow can reach. Scanning after every accepted
+// pseudo-timestep bounds how long such corruption can steer the solve.
+//
+// What counts as inadmissible:
+//  * any non-finite component (both models);
+//  * compressible only: rho <= 0 or p = (gamma-1)(E - |rho u|^2/(2 rho))
+//    <= 0. The incompressible model's artificial-compressibility pressure
+//    is a gauge pressure with no positivity constraint, so only the
+//    finiteness check applies there — this keeps the scan free of false
+//    positives on legitimate flows (a bench_sdc acceptance criterion).
+//
+// The scan is vertex-parallel on the exec pool. Its outputs (violation
+// count, minimum bad vertex id) are order-independent integer reductions,
+// so the verdict is bit-identical for any thread count.
+
+#include <vector>
+
+#include "cfd/state.hpp"
+
+namespace f3d::cfd {
+
+struct AdmissibilityReport {
+  long long violations = 0;   ///< vertices failing any check
+  int first_bad_vertex = -1;  ///< smallest offending vertex id, -1 if clean
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Scan `x` (interlaced, cfg.nb() components per vertex — the psi-NKS
+/// driver's native state layout) for physically inadmissible vertices.
+/// Violations are tallied process-wide as "cfd.admissibility_violations".
+AdmissibilityReport scan_admissibility(const FlowConfig& cfg, const double* x,
+                                       int num_vertices);
+
+inline AdmissibilityReport scan_admissibility(const FlowConfig& cfg,
+                                              const std::vector<double>& x) {
+  return scan_admissibility(cfg, x.data(),
+                            static_cast<int>(x.size()) / cfg.nb());
+}
+
+}  // namespace f3d::cfd

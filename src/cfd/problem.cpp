@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cfd/admissibility.hpp"
 #include "common/error.hpp"
 
 namespace f3d::cfd {
@@ -52,6 +53,10 @@ void EulerProblem::on_step(int /*step*/, double residual_ratio) {
       residual_ratio < switch_to_second_at_) {
     disc_.config().order = 2;
   }
+}
+
+bool EulerProblem::admissible(const std::vector<double>& x) const {
+  return scan_admissibility(disc_.config(), x.data(), num_vertices()).ok();
 }
 
 std::vector<double> EulerProblem::initial_state() const {

@@ -43,6 +43,10 @@ public:
 
   void on_step(int step, double residual_ratio) override;
 
+  /// SDC watchdog hook: finite everywhere, and (compressible) positive
+  /// density and pressure — the vertex-parallel scan in admissibility.hpp.
+  [[nodiscard]] bool admissible(const std::vector<double>& x) const override;
+
   [[nodiscard]] const EulerDiscretization& discretization() const {
     return disc_;
   }

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -174,8 +175,21 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return object();
-      case '[': return array();
+      case '{': {
+        // The parser is recursive descent: uncapped nesting turns "[[[[..."
+        // into a stack overflow, which no try/catch can contain. 256 is
+        // far beyond any document this library writes.
+        if (++depth_ > kMaxDepth) error("nesting too deep");
+        Json v = object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (++depth_ > kMaxDepth) error("nesting too deep");
+        Json v = array();
+        --depth_;
+        return v;
+      }
       case '"': return Json(string());
       case 't':
         if (!consume_literal("true")) error("bad literal");
@@ -258,24 +272,34 @@ class Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) error("truncated \\u escape");
-          unsigned cp = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-            else error("bad \\u escape digit");
+          unsigned cp = hex4();
+          // Surrogate pairs: a high surrogate must be immediately followed
+          // by \u + low surrogate; anything else (lone high, lone low)
+          // would previously be mis-encoded as a 3-byte sequence that is
+          // not valid UTF-8 — reject it instead.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              error("lone high surrogate");
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) error("lone high surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            error("lone low surrogate");
           }
-          // Basic-plane code point to UTF-8 (we only ever emit < 0x20).
           if (cp < 0x80) {
             out += static_cast<char>(cp);
           } else if (cp < 0x800) {
             out += static_cast<char>(0xC0 | (cp >> 6));
             out += static_cast<char>(0x80 | (cp & 0x3F));
-          } else {
+          } else if (cp < 0x10000) {
             out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (cp & 0x3F));
           }
@@ -285,6 +309,20 @@ class Parser {
           error("unknown escape");
       }
     }
+  }
+
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) error("truncated \\u escape");
+    unsigned cp = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else error("bad \\u escape digit");
+    }
+    return cp;
   }
 
   Json number() {
@@ -309,15 +347,29 @@ class Parser {
     if (is_double) {
       const double d = std::strtod(tok.c_str(), &end);
       if (end == nullptr || *end != '\0') error("bad number '" + tok + "'");
+      // strtod saturates 1e999-style input to +-inf; the Json model (and
+      // its dumper) has no representation for that, so reject it rather
+      // than silently round-tripping inf -> null.
+      if (!std::isfinite(d)) error("number out of range '" + tok + "'");
       return Json(d);
     }
+    errno = 0;
     const long long i = std::strtoll(tok.c_str(), &end, 10);
     if (end == nullptr || *end != '\0') error("bad number '" + tok + "'");
+    if (errno == ERANGE) {
+      // Integer literal beyond int64 (strtoll would silently saturate to
+      // LLONG_MAX/MIN): keep the value as a double approximation instead.
+      const double d = std::strtod(tok.c_str(), &end);
+      if (!std::isfinite(d)) error("number out of range '" + tok + "'");
+      return Json(d);
+    }
     return Json(i);
   }
 
+  static constexpr int kMaxDepth = 256;
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
+#include "resilience/bitflip.hpp"
 #include "resilience/buddy.hpp"
 #include "resilience/checkpoint.hpp"
 
@@ -223,6 +224,43 @@ CampaignResult simulate_campaign(const perf::MachineModel& machine,
       b.t_recovery += since_ckpt + restore;
       r.t_rework += since_ckpt;
       r.t_restore += restore;
+      r.sim.add_step(b);
+      ++r.steps_executed;
+      do_checkpoint(s);
+      continue;
+    }
+
+    // Silent halo corruption: one kBitFlip/kHalo opportunity per alive
+    // rank on each clean step (a step with a rank failure already rolls
+    // everyone back, clearing any coincident flip). The wire CRC was
+    // satisfied — the flip happened in memory, not on the link — so
+    // detection is entirely up to the receiving rank's downstream guards.
+    bool sdc_rollback = false;
+    for (int rank = 0; rank < nranks; ++rank) {
+      if (!r.rank_alive[static_cast<std::size_t>(rank)]) continue;
+      if (!resilience::bitflip_fires(resilience::FlipTarget::kHalo)) continue;
+      ++r.sdc_injected;
+      obs::Registry::global().count("par.halo_bitflips");
+      const int bit = opts.injector->bit_flip().bit;
+      if (opts.sdc_guards && bit >= opts.sdc_caught_min_bit) {
+        ++r.sdc_caught;
+        obs::Registry::global().count("resilience.sdc_detected");
+        r.log.add(s, resilience::RecoveryAction::kDetectSdc,
+                  "halo payload bit " + std::to_string(bit) + " flipped into rank " +
+                      std::to_string(rank) + ", caught downstream");
+        sdc_rollback = true;
+      } else {
+        ++r.sdc_escaped;
+        obs::Registry::global().count("resilience.sdc_escaped");
+      }
+    }
+    if (sdc_rollback) {
+      const double restore = transfer_cost(machine, ckpt_bytes, checksum_frac);
+      b.t_recovery += since_ckpt + restore;
+      r.t_rework += since_ckpt;
+      r.t_restore += restore;
+      r.log.add(s, resilience::RecoveryAction::kSdcRollback,
+                "rolled back to last buddy checkpoint");
       r.sim.add_step(b);
       ++r.steps_executed;
       do_checkpoint(s);

@@ -76,8 +76,22 @@ struct CampaignOptions {
   /// the Daly checkpoint-interval tradeoff non-trivial.
   double checkpoint_doubles_per_vertex = 0;
 
-  /// Drives kRankFail (fail-stop) and kMessage (lossy interconnect).
-  /// Required; the campaign registers it for the simulation's duration.
+  // Silent halo corruption (FaultSite::kBitFlip with FlipTarget::kHalo,
+  // one opportunity per alive rank per clean step). The kMessage CRC
+  // models LINK corruption — a payload flipped in memory before packing
+  // (or after unpacking) checksums as valid on the wire and sails through
+  // retransmission. It can only be caught downstream, by the receiving
+  // rank's ABFT / admissibility guards, which is what these knobs model:
+  // with sdc_guards on, a flip in bit >= sdc_caught_min_bit perturbs the
+  // solve enough for a guard to fire (roll back to the last buddy
+  // checkpoint and re-execute); lower bits — and every flip with guards
+  // off — escape silently into the campaign's answer.
+  bool sdc_guards = true;
+  int sdc_caught_min_bit = 48;
+
+  /// Drives kRankFail (fail-stop), kMessage (lossy interconnect) and
+  /// kBitFlip/kHalo (silent halo corruption). Required; the campaign
+  /// registers it for the simulation's duration.
   resilience::FaultInjector* injector = nullptr;
 };
 
@@ -92,6 +106,11 @@ struct CampaignResult {
   int rank_failures = 0;
   int spares_used = 0;
   int shrink_events = 0;
+
+  // Silent halo corruption accounting.
+  int sdc_injected = 0;  ///< halo flips delivered past the wire CRC
+  int sdc_caught = 0;    ///< caught downstream by the receiving guards
+  int sdc_escaped = 0;   ///< reached the campaign's answer undetected
 
   // Availability accounting (all modeled seconds).
   double t_checkpoint = 0;  ///< buddy checkpoint overhead

@@ -1,0 +1,57 @@
+#include "resilience/bitflip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace f3d::resilience {
+
+double flip_bit(double v, int bit) {
+  F3D_CHECK_MSG(bit >= 0 && bit <= 63, "bit index must be in [0, 63]");
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  u ^= std::uint64_t{1} << bit;
+  double out;
+  std::memcpy(&out, &u, sizeof out);
+  return out;
+}
+
+bool bitflip_fires(FlipTarget target) {
+  FaultInjector* inj = active_injector();
+  if (inj == nullptr) return false;
+  const FlipTarget armed = inj->bit_flip().target;
+  if (armed != FlipTarget::kAny && armed != target) return false;
+  return inj->should_fire(FaultSite::kBitFlip);
+}
+
+long long maybe_flip(FlipTarget target, double* data, long long n) {
+  if (!bitflip_fires(target)) return -1;
+  if (n <= 0 || data == nullptr) return -1;
+  FaultInjector* inj = active_injector();
+  const long long tagged = static_cast<long long>(
+      inj->fire_tag(FaultSite::kBitFlip) % static_cast<std::uint64_t>(n));
+  // Strike a LIVE value: one at or above the array's own rounding noise
+  // (eps * ||data||_inf). Stored zeros (Bcsr block padding) and
+  // cancellation residue are skipped — corrupting a value that is
+  // already below the computation's roundoff is indistinguishable from
+  // roundoff for ANY invariant-based detector and cannot alter the
+  // answer; flips there say nothing about the defenses under test.
+  // Deterministic: first live value at or after the tagged index
+  // (wrapping), a pure function of the tag and the data.
+  double amax = 0;
+  for (long long i = 0; i < n; ++i) amax = std::max(amax, std::abs(data[i]));
+  const double live = amax * std::numeric_limits<double>::epsilon();
+  long long idx = tagged;
+  long long probe = 0;
+  for (; probe < n && std::abs(data[idx]) < live; ++probe) idx = (idx + 1) % n;
+  if (probe == n) idx = tagged;  // nothing lives: strike the tagged slot
+  data[idx] = flip_bit(data[idx], inj->bit_flip().bit);
+  obs::Registry::global().count("resilience.bitflip_injected");
+  return idx;
+}
+
+}  // namespace f3d::resilience

@@ -1,0 +1,45 @@
+#pragma once
+// Silent-data-corruption injection: deterministic single-bit flips in
+// IEEE-754 doubles. Unlike the loud FaultSite classes (NaN residuals,
+// zeroed pivots, fail-stop ranks), a flipped mantissa or exponent bit
+// produces a *finite* wrong value that no NaN/Inf guard can see — the
+// failure class the ABFT layer (sparse/abft.hpp), the Krylov invariant
+// monitors, and the physical-admissibility scan exist to catch.
+//
+// The element to corrupt is derived from the injector's fire count
+// (FaultInjector::fire_tag), never from extra PRNG draws, so a
+// checkpointed stream replays the exact same flip and arming kBitFlip
+// cannot perturb any other site's draw sequence.
+
+#include <cstdint>
+
+#include "resilience/faults.hpp"
+
+namespace f3d::resilience {
+
+/// XOR bit `bit` (0 = mantissa lsb ... 52-62 = exponent, 63 = sign) of
+/// v's IEEE-754 representation. Throws f3d::Error on a bit outside
+/// [0, 63]. The result may be any double, including Inf/NaN when the
+/// flip lands the exponent field on all-ones.
+[[nodiscard]] double flip_bit(double v, int bit);
+
+/// One FaultSite::kBitFlip opportunity announced by an instrumented site
+/// whose data is `target`. Returns false (without consuming a draw) when
+/// no injector is registered or the armed BitFlipSpec aims at a
+/// different target; otherwise advances the kBitFlip stream exactly like
+/// any other site.
+[[nodiscard]] bool bitflip_fires(FlipTarget target);
+
+/// One injection opportunity against `data[0..n)`: if the kBitFlip site
+/// fires for this target, flips the armed spec's bit in one
+/// deterministically chosen element and returns its index; returns -1
+/// when nothing fired (or n <= 0). The victim is the first LIVE value at
+/// or after the tagged index (wrapping): |v| >= eps * ||data||_inf —
+/// flips strike data that participates in the computation, not stored
+/// zeros (Bcsr block padding) or cancellation residue already below the
+/// array's own roundoff, whose corruption is indistinguishable from
+/// rounding noise for any invariant-based detector. Counts fired flips
+/// into the obs registry as "resilience.bitflip_injected".
+long long maybe_flip(FlipTarget target, double* data, long long n);
+
+}  // namespace f3d::resilience

@@ -35,6 +35,19 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kRank: return "rank-straggler";
     case FaultSite::kRankFail: return "rank-failstop";
     case FaultSite::kMessage: return "message-corrupt";
+    case FaultSite::kBitFlip: return "bit-flip";
+  }
+  return "unknown";
+}
+
+const char* flip_target_name(FlipTarget target) {
+  switch (target) {
+    case FlipTarget::kAny: return "any";
+    case FlipTarget::kState: return "state";
+    case FlipTarget::kResidual: return "residual";
+    case FlipTarget::kKrylov: return "krylov";
+    case FlipTarget::kMatrix: return "matrix";
+    case FlipTarget::kHalo: return "halo";
   }
   return "unknown";
 }
@@ -48,7 +61,21 @@ void FaultInjector::reseed_site(int i) {
 }
 
 void FaultInjector::arm(FaultSite site, const FaultPlan& plan) {
+  F3D_CHECK_MSG(plan.probability >= 0.0 && plan.probability <= 1.0,
+                "FaultPlan.probability must be in [0, 1]");
+  F3D_CHECK_MSG(plan.fire_every >= 0,
+                "FaultPlan.fire_every must be non-negative");
+  F3D_CHECK_MSG(plan.skip_first >= 0,
+                "FaultPlan.skip_first must be non-negative");
+  F3D_CHECK_MSG(plan.max_fires >= 0,
+                "FaultPlan.max_fires must be non-negative");
   sites_[static_cast<std::size_t>(site_index(site))].plan = plan;
+}
+
+void FaultInjector::set_bit_flip(const BitFlipSpec& spec) {
+  F3D_CHECK_MSG(spec.bit >= 0 && spec.bit <= 63,
+                "BitFlipSpec.bit must be in [0, 63]");
+  bitflip_ = spec;
 }
 
 bool FaultInjector::should_fire(FaultSite site) {
@@ -86,6 +113,15 @@ int FaultInjector::total_fires() const {
 
 double FaultInjector::magnitude(FaultSite site) const {
   return sites_[static_cast<std::size_t>(site_index(site))].plan.magnitude;
+}
+
+std::uint64_t FaultInjector::fire_tag(FaultSite site) const {
+  const int i = site_index(site);
+  const auto fires =
+      static_cast<std::uint64_t>(sites_[static_cast<std::size_t>(i)].fires);
+  // Same SplitMix64-style mix as site_seed, keyed by the fire count so
+  // consecutive fires of one site land on different tags.
+  return site_seed(seed_ ^ (fires * 0xd1342543de82ef95ULL), i);
 }
 
 FaultInjector::State FaultInjector::state() const {

@@ -30,8 +30,9 @@ enum class FaultSite : int {
   kRank = 4,         ///< simulated slow/failed rank in par::stepmodel
   kRankFail = 5,     ///< fail-stop rank loss in the distributed campaign
   kMessage = 6,      ///< corrupted halo-exchange / reduction message
+  kBitFlip = 7,      ///< silent finite-value bit flip (SDC; see bitflip.hpp)
 };
-inline constexpr int kNumFaultSites = 7;
+inline constexpr int kNumFaultSites = 8;
 
 [[nodiscard]] const char* fault_site_name(FaultSite site);
 
@@ -45,12 +46,43 @@ struct FaultPlan {
   double magnitude = 2.0;  ///< site-specific severity (e.g. rank slowdown)
 };
 
+/// Which data structure a FaultSite::kBitFlip opportunity may corrupt.
+/// The instrumented sites each announce their own target; an opportunity
+/// whose target does not match the armed spec passes without consuming a
+/// draw, so fire_every counts opportunities *of the selected target* and
+/// campaigns are comparable across targets.
+enum class FlipTarget : int {
+  kAny = 0,       ///< every instrumented bit-flip site is an opportunity
+  kState = 1,     ///< committed state vector at a pseudo-timestep boundary
+  kResidual = 2,  ///< residual evaluation output
+  kKrylov = 3,    ///< Krylov vector inside GMRES/BiCGStab
+  kMatrix = 4,    ///< assembled Jacobian (Bcsr) values
+  kHalo = 5,      ///< halo payload after the comm-layer CRC passed
+};
+[[nodiscard]] const char* flip_target_name(FlipTarget target);
+
+/// How FaultSite::kBitFlip corrupts a value: which IEEE-754 bit to XOR
+/// (0 = mantissa lsb, 51 = mantissa msb, 52-62 = exponent, 63 = sign) and
+/// which target the armed plan aims at. Configuration, like FaultPlan —
+/// a restored injector is re-armed by the campaign driver.
+struct BitFlipSpec {
+  int bit = 62;  ///< exponent msb: a loud-magnitude but *finite-capable* flip
+  FlipTarget target = FlipTarget::kAny;
+};
+
 class FaultInjector {
 public:
   explicit FaultInjector(std::uint64_t seed = 0);
 
-  /// Arm one site; un-armed sites never fire.
+  /// Arm one site; un-armed sites never fire. Throws f3d::Error on an
+  /// invalid plan (probability outside [0, 1], negative fire_every /
+  /// skip_first / max_fires) instead of silently misbehaving.
   void arm(FaultSite site, const FaultPlan& plan);
+
+  /// Configure what a FaultSite::kBitFlip fire does (bit position +
+  /// target routing). Throws f3d::Error on a bit outside [0, 63].
+  void set_bit_flip(const BitFlipSpec& spec);
+  [[nodiscard]] const BitFlipSpec& bit_flip() const { return bitflip_; }
 
   /// One injection opportunity at `site`; advances the site's draw count
   /// and PRNG regardless of the outcome (keeps streams site-independent).
@@ -61,6 +93,12 @@ public:
   [[nodiscard]] int fires(FaultSite site) const;
   [[nodiscard]] int total_fires() const;
   [[nodiscard]] double magnitude(FaultSite site) const;
+
+  /// Deterministic per-fire tag: a pure function of (seed, site, fires)
+  /// that consumes no PRNG draws. Bit-flip sites use it to pick which
+  /// element of a vector to corrupt, so replaying a checkpointed stream
+  /// reproduces the exact same flip without perturbing any site's stream.
+  [[nodiscard]] std::uint64_t fire_tag(FaultSite site) const;
 
   /// Serializable position in every site's deterministic draw stream.
   /// Plans are configuration, not state: a restored injector must be
@@ -91,6 +129,7 @@ private:
 
   std::uint64_t seed_ = 0;
   std::array<SiteState, kNumFaultSites> sites_;
+  BitFlipSpec bitflip_;
 };
 
 /// Process-wide registry the injection sites consult. Null (the default)

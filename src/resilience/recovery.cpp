@@ -31,6 +31,9 @@ const char* recovery_action_name(RecoveryAction action) {
     case RecoveryAction::kShrinkRepartition: return "shrink-repartition";
     case RecoveryAction::kBuddyCheckpoint: return "buddy-checkpoint";
     case RecoveryAction::kBuddyRestore: return "buddy-restore";
+    case RecoveryAction::kDetectSdc: return "sdc-detected";
+    case RecoveryAction::kSdcRecompute: return "sdc-recompute";
+    case RecoveryAction::kSdcRollback: return "sdc-rollback";
   }
   return "unknown";
 }

@@ -32,6 +32,11 @@ enum class RecoveryAction : int {
   kShrinkRepartition,      ///< dead rank's vertices reassigned to survivors
   kBuddyCheckpoint,        ///< diskless neighbor checkpoint written
   kBuddyRestore,           ///< state recovered from a buddy copy
+  // Silent-data-corruption defense (ABFT + numerical health watchdog).
+  // Appended at the end: the enum value is serialized in checkpoints.
+  kDetectSdc,              ///< finite-value corruption flagged by a guard
+  kSdcRecompute,           ///< recompute-and-verify rung (transient flips)
+  kSdcRollback,            ///< state restored from the in-memory snapshot
 };
 
 [[nodiscard]] const char* recovery_action_name(RecoveryAction action);
@@ -66,7 +71,8 @@ public:
            count(RecoveryAction::kDetectDivergence) +
            count(RecoveryAction::kDetectBreakdown) +
            count(RecoveryAction::kDetectStagnation) +
-           count(RecoveryAction::kDetectSingularFactor);
+           count(RecoveryAction::kDetectSingularFactor) +
+           count(RecoveryAction::kDetectSdc);
   }
 
   /// One line per event: "step 7: pivot-shift (shift=1e-06)".

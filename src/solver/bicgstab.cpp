@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
+#include "resilience/bitflip.hpp"
 #include "resilience/faults.hpp"
 #include "sparse/vec.hpp"
 
@@ -54,6 +55,9 @@ BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
     ++res.counters.prec_applies;
     a.apply(phat.data(), v.data());
     ++res.counters.matvecs;
+    // SDC site: a silent finite-value flip in the fresh Krylov direction
+    // (caught by the periodic true-residual check, not by any NaN guard).
+    resilience::maybe_flip(resilience::FlipTarget::kKrylov, v.data(), n);
     const double r0v = sparse::dot(r0, v);
     ++res.counters.dots;
     if (std::abs(r0v) < 1e-300) {
@@ -99,13 +103,51 @@ BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
     ++res.counters.dots;
     rho_prev = rho;
     ++res.iterations;
+
+    // Krylov invariant monitor: the short recurrence's r and the true
+    // residual b - Ax agree to rounding unless something was silently
+    // corrupted. Costs a matvec, so only every true_residual_every iters.
+    if (opts.true_residual_every > 0 && opts.sdc_drift_tol > 0 &&
+        res.iterations % opts.true_residual_every == 0) {
+      a.apply(x.data(), t.data());
+      ++res.counters.matvecs;
+      for (int i = 0; i < n; ++i) t[i] = b[i] - t[i];
+      const double true_norm = sparse::norm2(t);
+      ++res.counters.dots;
+      const double scale = std::max(rnorm, true_norm);
+      const double drift =
+          scale > 0 ? std::abs(true_norm - rnorm) / scale : 0.0;
+      res.sdc_drift = std::max(res.sdc_drift, drift);
+      if (drift > opts.sdc_drift_tol || !std::isfinite(true_norm))
+        res.sdc_suspected = true;
+    }
   }
 
+  // Exit drift check: a solve shorter than true_residual_every iterations
+  // never meets the periodic monitor above, and even a long one can be
+  // corrupted after its last check. One extra matvec closes both windows.
+  // Rounding-level residuals are skipped — estimate and truth legitimately
+  // part ways there.
+  if (opts.sdc_drift_tol > 0 && res.iterations > 0 && !res.breakdown) {
+    a.apply(x.data(), t.data());
+    ++res.counters.matvecs;
+    for (int i = 0; i < n; ++i) t[i] = b[i] - t[i];
+    const double true_norm = sparse::norm2(t);
+    ++res.counters.dots;
+    const double scale = std::max(rnorm, true_norm);
+    if (scale > 1e-14 * res.initial_residual) {
+      const double drift = scale > 0 ? std::abs(true_norm - rnorm) / scale : 0;
+      res.sdc_drift = std::max(res.sdc_drift, drift);
+      if (drift > opts.sdc_drift_tol || !std::isfinite(true_norm))
+        res.sdc_suspected = true;
+    }
+  }
   res.final_residual = rnorm;
   res.converged = rnorm <= target;
   auto& reg = obs::Registry::global();
   reg.count("solver.bicgstab.iterations", res.iterations);
   if (res.breakdown) reg.count("solver.bicgstab.breakdowns");
+  if (res.sdc_suspected) reg.count("solver.bicgstab.sdc_suspected");
   return res;
 }
 

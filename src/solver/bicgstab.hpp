@@ -16,6 +16,14 @@ struct BicgstabOptions {
   double rtol = 1e-3;
   double atol = 1e-50;
   int max_iters = 200;
+
+  // Krylov invariant monitor (SDC watchdog): every true_residual_every
+  // iterations recompute the TRUE residual ||b - Ax|| and compare it to
+  // the short recurrence's r. The two drifting apart relatively by more
+  // than sdc_drift_tol flags sdc_suspected. Unlike the GMRES monitor this
+  // costs one extra matvec per check; 0 in either field disables it.
+  int true_residual_every = 0;
+  double sdc_drift_tol = 0;
 };
 
 struct BicgstabResult {
@@ -24,6 +32,8 @@ struct BicgstabResult {
   double initial_residual = 0;
   double final_residual = 0;
   bool breakdown = false;  ///< rho or omega collapsed
+  bool sdc_suspected = false;  ///< true-residual check exceeded sdc_drift_tol
+  double sdc_drift = 0;        ///< worst relative drift observed
   SolveCounters counters;
 };
 

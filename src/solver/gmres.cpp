@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
+#include "resilience/bitflip.hpp"
 #include "resilience/faults.hpp"
 #include "sparse/vec.hpp"
 
@@ -16,9 +17,13 @@ using sparse::Vec;
 
 // One GMRES cycle of up to `m` iterations. Returns iterations done and
 // updates x; sets `resid` to the estimated true residual norm.
+// `entry_beta` (optional) receives the TRUE residual ||b - Ax|| computed
+// at cycle entry — the outer loop compares it against the previous
+// cycle's recurrence estimate for the SDC drift monitor.
 int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
                 const Vec& b, Vec& x, int m, double target, double* resid,
-                Orthogonalization orth, SolveCounters& ctr) {
+                Orthogonalization orth, SolveCounters& ctr,
+                double* entry_beta = nullptr) {
   const int n = a.n;
   Vec r(n), w(n), z(n);
 
@@ -28,6 +33,7 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
   for (int i = 0; i < n; ++i) r[i] = b[i] - r[i];
   double beta = sparse::norm2(r);
   ++ctr.dots;
+  if (entry_beta != nullptr) *entry_beta = beta;
   *resid = beta;
   if (beta <= target || beta == 0) return 0;
 
@@ -52,6 +58,9 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
     // stagnation — the cycle ends with a zero Hessenberg column).
     if (resilience::fault_fires(resilience::FaultSite::kGmres))
       std::fill(w.begin(), w.end(), 0.0);
+    // SDC site: a silent finite-value flip in the fresh Krylov direction
+    // (caught by the restart drift monitor, not by any NaN guard).
+    resilience::maybe_flip(resilience::FlipTarget::kKrylov, w.data(), n);
 
     h[j].assign(j + 2, 0.0);
     if (orth == Orthogonalization::kModifiedGramSchmidt) {
@@ -169,8 +178,21 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
   while (res.iterations < opts.max_iters && resid > target) {
     const double resid_before = resid;
     const int room = std::min(opts.restart, opts.max_iters - res.iterations);
+    double entry_beta = 0;
     const int done = gmres_cycle(a, m, b, x, room, target, &resid, opts.orth,
-                                 res.counters);
+                                 res.counters, &entry_beta);
+    // Krylov invariant monitor: the recurrence estimate the previous
+    // cycle ended with (resid_before) and the true residual this cycle
+    // just computed (entry_beta) agree to rounding unless something was
+    // silently corrupted in between.
+    if (opts.sdc_drift_tol > 0 && restart_cycles > 0) {
+      const double scale = std::max(resid_before, entry_beta);
+      const double drift =
+          scale > 0 ? std::abs(entry_beta - resid_before) / scale : 0.0;
+      res.sdc_drift = std::max(res.sdc_drift, drift);
+      if (drift > opts.sdc_drift_tol || !std::isfinite(entry_beta))
+        res.sdc_suspected = true;
+    }
     res.iterations += done;
     ++restart_cycles;
     if (done == 0) break;  // stagnation or immediate convergence
@@ -187,6 +209,27 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
       stagnant_cycles = 0;
     }
   }
+  // Exit drift check: the cross-cycle monitor above never sees the LAST
+  // cycle (and short solves converge in a single cycle, so it never runs
+  // at all). One extra matvec recomputes the true residual at the final
+  // iterate; corruption of the Arnoldi recurrence shows up as a gap
+  // between it and the recurrence estimate. Residuals at rounding level
+  // are skipped — estimate and truth legitimately part ways there.
+  if (opts.sdc_drift_tol > 0 && res.iterations > 0) {
+    Vec r(a.n);
+    a.apply(x.data(), r.data());
+    ++res.counters.matvecs;
+    for (int i = 0; i < a.n; ++i) r[i] = b[i] - r[i];
+    const double true_resid = sparse::norm2(r);
+    ++res.counters.dots;
+    const double scale = std::max(resid, true_resid);
+    if (scale > 1e-14 * res.initial_residual) {
+      const double drift = scale > 0 ? std::abs(true_resid - resid) / scale : 0;
+      res.sdc_drift = std::max(res.sdc_drift, drift);
+      if (drift > opts.sdc_drift_tol || !std::isfinite(true_resid))
+        res.sdc_suspected = true;
+    }
+  }
   res.final_residual = resid;
   res.converged = resid <= target;
   if (!res.converged && res.reason.empty())
@@ -198,6 +241,7 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
   reg.count("solver.gmres.iterations", res.iterations);
   reg.count("solver.gmres.restart_cycles", restart_cycles);
   if (res.stagnated) reg.count("solver.gmres.stagnations");
+  if (res.sdc_suspected) reg.count("solver.gmres.sdc_suspected");
   return res;
 }
 

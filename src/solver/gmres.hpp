@@ -31,14 +31,28 @@ struct GmresOptions {
   // silently burning the rest of max_iters.
   double stagnation_factor = 0.9999;
   int max_stagnant_restarts = 2;
+
+  // Krylov invariant monitor (SDC watchdog): at each restart the cycle
+  // recomputes the TRUE residual ||b - Ax|| anyway; in exact arithmetic
+  // it equals the previous cycle's recurrence estimate |g_{j+1}|. A
+  // silent bit flip in the basis, the Hessenberg, or x breaks that
+  // identity. When sdc_drift_tol > 0 and the relative gap between the
+  // two exceeds it, the result is flagged sdc_suspected (the solve still
+  // runs to completion — the psi-NKS ladder decides what to do). 0
+  // disables the check. The comparison reuses an existing matvec, so the
+  // monitor is free.
+  double sdc_drift_tol = 0;
 };
 
 struct GmresResult {
   bool converged = false;
   bool stagnated = false;   ///< stopped by the stagnation watchdog
+  bool sdc_suspected = false;  ///< recurrence/true-residual drift exceeded
+                               ///< sdc_drift_tol (silent corruption likely)
   int iterations = 0;
   double initial_residual = 0;
   double final_residual = 0;
+  double sdc_drift = 0;     ///< worst relative recurrence drift observed
   std::string reason;       ///< empty on success; why the solve stopped
   SolveCounters counters;
 };

@@ -6,12 +6,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "resilience/bitflip.hpp"
 #include "resilience/checkpoint.hpp"
+#include "sparse/abft.hpp"
 #include "sparse/vec.hpp"
 
 namespace f3d::solver {
@@ -47,6 +50,8 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
 
   const PtcRecoveryOptions& rec = opts.recovery;
   const bool resilient = rec.enabled;
+  const PtcSdcOptions& sdc = opts.sdc;
+  const bool sdc_on = sdc.enabled;
   // Register the fault injector for the duration of the solve so the
   // instrumented sites deep in the stack (ILU factorization, Krylov inner
   // loops) see it without threading it through every signature.
@@ -59,9 +64,24 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
   double cfl_relax = 1.0;  ///< CFL backtrack multiplier (1 = no backtrack)
   bool force_refresh = false;
   GmresOptions gmres_active = opts.gmres;
+  if (sdc_on) gmres_active.sdc_drift_tol = sdc.gmres_drift_tol;
   PtcOptions::Krylov krylov_active = opts.krylov;
   int cur_step = 0;
   bool nan_seen = false;
+  bool sdc_flagged = false;  ///< this attempt tripped an SDC guard
+  sparse::AbftGuard abft_guard;
+  abft_guard.slack = sdc.abft_slack;
+
+  // Every SDC guard firing funnels through here: tallies, logs, and either
+  // hands the recovery ladder the attempt (resilient mode) or aborts.
+  auto detect_sdc = [&](const std::string& what) {
+    ++result.sdc_detections;
+    obs::Registry::global().count("resilience.sdc_detected");
+    F3D_NUMERIC_CHECK_MSG(resilient,
+                          "silent data corruption detected: " + what);
+    result.recovery_log.add(cur_step, RecoveryAction::kDetectSdc, what);
+    sdc_flagged = true;
+  };
 
   // Residual evaluation wrapper: all driver-side residual calls funnel
   // through here — it times into "flux", counts, hosts the NaN/Inf
@@ -82,6 +102,17 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
                   ? std::numeric_limits<double>::infinity()
                   : std::numeric_limits<double>::quiet_NaN();
     }
+    // Transport checksum over the freshly evaluated residual. Both sums
+    // run the same serial order over the same memory, so on a clean path
+    // they are bit-identical — zero false positives by construction. A
+    // flip whose contribution is swallowed by summation rounding (low
+    // mantissa bits) stays invisible: that is the measured escape class.
+    double sum_before = 0;
+    if (sdc_on && sdc.abft)
+      for (int i = 0; i < n; ++i) sum_before += rr[i];
+    // SDC site: a silent finite flip in the freshly evaluated residual —
+    // transient corruption (the recompute-and-verify rung clears it).
+    resilience::maybe_flip(resilience::FlipTarget::kResidual, rr.data(), n);
     const bool finite = all_finite(rr);
     if (!finite) {
       nan_seen = true;
@@ -91,6 +122,16 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
       else
         F3D_NUMERIC_CHECK_MSG(finite, std::string("non-finite residual (") +
                                           what + ")");
+      return finite;
+    }
+    if (sdc_on && sdc.abft && std::isfinite(sum_before)) {
+      double sum_after = 0;
+      for (int i = 0; i < n; ++i) sum_after += rr[i];
+      if (sum_after != sum_before) {
+        detect_sdc(std::string("residual transport checksum mismatch (") +
+                   what + ")");
+        return false;
+      }
     }
     return finite;
   };
@@ -130,14 +171,23 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
     // state exists.
     for (int attempt = 0;; ++attempt) {
       nan_seen = false;
+      sdc_flagged = false;
       eval_residual(x, r, "initial residual");
-      if (!nan_seen) break;
+      if (!nan_seen && !sdc_flagged) break;
       F3D_NUMERIC_CHECK_MSG(attempt < 3, "non-finite initial residual");
     }
+    sdc_flagged = false;
     rnorm = sparse::norm2(r);
     result.initial_residual = rnorm;
     r0 = rnorm > 0 ? rnorm : 1.0;
   }
+
+  // Last state that passed every SDC guard — the rollback rung's target
+  // when the step-entry iterate itself is corrupted (so step-rejection's
+  // own snapshot is poisoned too).
+  std::vector<double> x_good;
+  double rnorm_good = rnorm;
+  if (sdc_on) x_good = x;
 
   // Jacobian + Schwarz preconditioner built lazily on the first step.
   sparse::Bcsr<double> jac = problem.allocate_jacobian();
@@ -160,6 +210,40 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
        ++step) {
     cur_step = step;
     problem.on_step(step, rnorm / r0);
+
+    // SDC site: a silent flip in the committed state vector. Deliberately
+    // BEFORE the step-rejection snapshot below — the corruption is
+    // persistent (recompute retries restart from the same poisoned
+    // x_step), so only the rollback rung's x_good can clear it.
+    resilience::maybe_flip(resilience::FlipTarget::kState, x.data(), n);
+
+    // Entry scan of the committed state. This must run BEFORE the Newton
+    // attempt: a corrupted-but-finite entry state is a legal (if terrible)
+    // initial guess, and Newton will often pull it back to an admissible
+    // commit — the flip would then silently cost extra iterations and a
+    // perturbed trajectory instead of being caught. Recompute cannot help
+    // (the committed vector itself is wrong), so detection goes straight
+    // to the rollback rung. Two guards stack here: the committed state
+    // must be byte-identical to the verified copy the rollback rung
+    // already keeps (nothing legitimate writes to x between steps), and
+    // it must be physically admissible (which also covers the very first
+    // step, where the verified copy IS the unchecked initial state).
+    if (sdc_on) {
+      const bool mutated =
+          !x_good.empty() &&
+          std::memcmp(x.data(), x_good.data(),
+                      sizeof(double) * x.size()) != 0;
+      if (mutated || (sdc.admissibility && !problem.admissible(x))) {
+        detect_sdc(mutated ? "committed state changed between steps"
+                           : "step-entry state is physically inadmissible");
+        sdc_flagged = false;  // handled here, not by the retry ladder
+        x = x_good;
+        rnorm = rnorm_good;
+        ++result.sdc_rollbacks;
+        result.recovery_log.add(step, RecoveryAction::kSdcRollback,
+                                "restored last verified state");
+      }
+    }
 
     // Rollback state for the recovery ladder: a rejected attempt restores
     // the step-entry iterate exactly.
@@ -205,6 +289,18 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
             F3D_CHECK(blk != nullptr);
             for (int c = 0; c < nb; ++c) blk[c * nb + c] += diag[v];
           }
+          // ABFT checksums are a function of the values just assembled:
+          // rebuild here, and only here — any flip landing after this
+          // point is exactly what verify_spmv exists to catch.
+          if (sdc_on && sdc.abft && !opts.matrix_free)
+            sparse::rebuild(abft_guard, jac);
+          // SDC site: a silent flip in the assembled operator (after the
+          // checksum rebuild, so ABFT is the guard on the hook; with
+          // matrix_free on, the flip only degrades the preconditioner —
+          // a measured escape path).
+          resilience::maybe_flip(resilience::FlipTarget::kMatrix,
+                                 jac.val.data(),
+                                 static_cast<long long>(jac.val.size()));
           F3D_OBS_SPAN("factor");
           PhaseTimers::Scope scope(result.phases, "factor");
           if (!prec) {
@@ -254,11 +350,20 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
         // Matrix-free action of J_g = dr/dx + D via finite differences,
         // or the assembled first-order Jacobian when matrix_free is off.
         const double xnorm = sparse::norm2(x);
+        bool abft_failed = false;
+        bool krylov_sdc = false;
         LinearOperator op;
         op.n = n;
         if (!opts.matrix_free) {
           // jac already carries the pseudo-time diagonal from the refresh.
-          op.apply = [&jac](const double* v, double* y) { jac.spmv(v, y); };
+          // With the ABFT guard built, every product is checksum-verified
+          // (an O(n) add-on to the O(nnz) product).
+          op.apply = [&](const double* v, double* y) {
+            jac.spmv(v, y);
+            if (sdc_on && sdc.abft && abft_guard.valid() &&
+                !sparse::verify_spmv(abft_guard, v, y, n))
+              abft_failed = true;
+          };
         } else
         op.apply = [&](const double* v, double* y) {
           double vnorm = 0;
@@ -301,11 +406,16 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
             BicgstabOptions bo;
             bo.rtol = gmres_active.rtol;
             bo.max_iters = gmres_active.max_iters;
+            if (sdc_on) {
+              bo.true_residual_every = sdc.bicgstab_true_residual_every;
+              bo.sdc_drift_tol = sdc.bicgstab_drift_tol;
+            }
             auto bres = bicgstab(op, *prec, rhs, dx, bo);
             rec_step.linear_iterations += bres.iterations;
             rec_step.linear_converged = bres.converged;
             result.total_linear_iterations += bres.iterations;
             result.counters += bres.counters;
+            if (bres.sdc_suspected) krylov_sdc = true;
             if (bres.breakdown) {
               rec_step.linear_breakdown = true;
               ++result.krylov_breakdowns;
@@ -330,6 +440,7 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
             rec_step.linear_converged = gres.converged;
             result.total_linear_iterations += gres.iterations;
             result.counters += gres.counters;
+            if (gres.sdc_suspected) krylov_sdc = true;
             if (gres.stagnated) {
               rec_step.linear_stagnated = true;
               if (resilient) {
@@ -367,6 +478,15 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
         }
         result.phases.add("krylov", krylov_timer.seconds());
         if (nan_seen) return false;
+        if (sdc_on && (abft_failed || krylov_sdc)) {
+          detect_sdc(abft_failed
+                         ? "ABFT checksum violation in assembled SpMV"
+                         : "Krylov recurrence/true-residual drift");
+          return false;
+        }
+        // Residual-checksum detection inside a matrix-free action lands
+        // here (the operator returns a null action instead of failing).
+        if (sdc_flagged) return false;
         if (resilient && !all_finite(dx)) {
           result.recovery_log.add(step, RecoveryAction::kDetectDivergence,
                                   "non-finite Newton correction");
@@ -394,7 +514,7 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
           }
           lambda *= 0.5;
         }
-        if (nan_seen) return false;
+        if (nan_seen || sdc_flagged) return false;
       }
 
       if (!eval_residual(x, r, "step residual")) return false;
@@ -411,12 +531,28 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
             "||r|| grew " + std::to_string(rnorm_new / rnorm_step) + "x");
         return false;
       }
+      // Numerical health watchdog: the step is numerically fine — is the
+      // state physically possible? (Finite wrong values from a bit flip
+      // pass every norm test above.)
+      if (sdc_on && sdc.admissibility) {
+        bool ok;
+        {
+          F3D_OBS_SPAN("admissibility");
+          ok = problem.admissible(x);
+        }
+        if (!ok) {
+          detect_sdc("physically inadmissible state after step");
+          return false;
+        }
+      }
       rnorm = rnorm_new;
       return true;
     };
 
+    int sdc_retries = 0;
     for (int attempt = 0;; ++attempt) {
       nan_seen = false;
+      sdc_flagged = false;
       // SER continuation, scaled by the ladder's backtrack multiplier.
       const double cfl =
           std::min(opts.cfl_max, opts.cfl0 *
@@ -440,6 +576,29 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
       F3D_NUMERIC_CHECK_MSG(
           attempt + 1 < rec.max_step_retries,
           "recovery ladder exhausted at step " + std::to_string(step));
+      if (sdc_flagged) {
+        // SDC rungs. The numerics were fine — the data was corrupt — so
+        // no CFL backtrack. force_refresh reassembles the Jacobian (and
+        // its checksums), which clears matrix corruption.
+        force_refresh = true;
+        if (sdc_retries < sdc.max_recompute) {
+          ++sdc_retries;
+          ++result.sdc_recomputes;
+          result.recovery_log.add(step, RecoveryAction::kSdcRecompute,
+                                  "reassemble and re-run attempt " +
+                                      std::to_string(attempt + 1));
+          continue;
+        }
+        // Recompute didn't clear it: the step-entry state itself is
+        // corrupted. Restore the last iterate that passed every guard.
+        x = x_good;
+        rnorm = rnorm_good;
+        sdc_retries = 0;
+        ++result.sdc_rollbacks;
+        result.recovery_log.add(step, RecoveryAction::kSdcRollback,
+                                "restored last verified state");
+        continue;
+      }
       cfl_relax *= rec.cfl_backtrack;
       result.recovery_log.add(step, RecoveryAction::kCflBacktrack,
                               "cfl_relax=" + std::to_string(cfl_relax));
@@ -454,6 +613,12 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
     // Let the CFL relaxation recover toward 1 after accepted steps.
     if (resilient && cfl_relax < 1.0)
       cfl_relax = std::min(1.0, cfl_relax * rec.cfl_regrow);
+    // The committed state passed every active guard: it becomes the
+    // rollback rung's restore point.
+    if (sdc_on) {
+      x_good = x;
+      rnorm_good = rnorm;
+    }
 
     // Periodic checkpoint of the committed state.
     if (resilient && rec.checkpoint_every > 0 && !rec.checkpoint_path.empty() &&
@@ -503,6 +668,8 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
   reg.count("solver.ptc.function_evaluations", result.function_evaluations);
   reg.count("solver.krylov.iterations", result.total_linear_iterations);
   reg.count("solver.krylov.breakdowns", result.krylov_breakdowns);
+  reg.count("solver.ptc.sdc_recomputes", result.sdc_recomputes);
+  reg.count("solver.ptc.sdc_rollbacks", result.sdc_rollbacks);
   // Writes the Chrome trace iff the F3D_TRACE environment variable asked
   // for one; a plain set_tracing(true) caller drains the tracer itself.
   obs::flush_env_trace();

@@ -11,6 +11,7 @@
 // built from the analytic first-order Jacobian and refreshed at a
 // configurable frequency (§2.4's "refresh frequency" knob).
 
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
@@ -61,6 +62,17 @@ public:
     (void)step;
     (void)residual_ratio;
   }
+
+  /// Physical-admissibility watchdog: is state x something the model could
+  /// legitimately produce? Called after each accepted pseudo-timestep when
+  /// the SDC guards are on. The base class only demands finiteness;
+  /// physics problems override with real constraints (cfd::EulerProblem:
+  /// positive density and pressure — see cfd/admissibility.hpp).
+  [[nodiscard]] virtual bool admissible(const std::vector<double>& x) const {
+    for (double v : x)
+      if (!std::isfinite(v)) return false;
+    return true;
+  }
 };
 
 /// Knobs of the ψNKS breakdown recovery ladder (§2.4's safeguards, made
@@ -97,6 +109,39 @@ struct PtcRecoveryOptions {
   std::string checkpoint_path;    ///< empty = no checkpointing
   int checkpoint_every = 0;       ///< write every k accepted steps (0 = off)
   bool resume = false;            ///< restore from checkpoint_path if present
+};
+
+/// Silent-data-corruption guards (detect finite wrong values no NaN check
+/// can see) and the two ladder rungs that answer a detection. Requires
+/// PtcRecoveryOptions::enabled — without the ladder a detection aborts
+/// via NumericalError like every other plain-path failure.
+///
+/// Detection layers (all on by default once `enabled` is set):
+///  * ABFT checksum on every assembled-Jacobian SpMV (matrix_free=false
+///    path only; see sparse/abft.hpp),
+///  * Krylov invariant monitors (GMRES restart drift / BiCGStab periodic
+///    true residual; see the solvers' sdc_drift_tol options),
+///  * NonlinearProblem::admissible() on each accepted step's state.
+///
+/// Recovery rungs, in escalation order:
+///  1. recompute-and-verify: reject the step, force a Jacobian/checksum
+///     rebuild, and re-run the attempt — clears transient flips (residual
+///     or Krylov vectors) and matrix corruption;
+///  2. rollback: restore the last state that passed every guard — the
+///     only exit when the step-entry state itself is corrupted.
+struct PtcSdcOptions {
+  bool enabled = false;
+
+  bool abft = true;               ///< checksum assembled-Jacobian products
+  double abft_slack = 1024.0;     ///< rounding-bound slack (sparse/abft.hpp)
+  bool admissibility = true;      ///< post-step admissible() scan
+  double gmres_drift_tol = 1e-2;  ///< GmresOptions::sdc_drift_tol
+  double bicgstab_drift_tol = 1e-2;   ///< BicgstabOptions::sdc_drift_tol
+  int bicgstab_true_residual_every = 10;  ///< extra matvec cadence
+
+  /// Recompute-and-verify attempts per step before rolling back to the
+  /// last verified state.
+  int max_recompute = 1;
 };
 
 struct PtcOptions {
@@ -144,6 +189,10 @@ struct PtcOptions {
   /// plain path aborts on numerical failure exactly as before).
   PtcRecoveryOptions recovery;
 
+  /// Silent-data-corruption guards + recompute/rollback rungs (off by
+  /// default; needs recovery.enabled for the recovery half).
+  PtcSdcOptions sdc;
+
   /// Optional fault injector, registered process-wide for the duration of
   /// the solve (resilience test campaigns; see resilience/faults.hpp).
   resilience::FaultInjector* fault_injector = nullptr;
@@ -177,6 +226,9 @@ struct PtcResult {
   int krylov_breakdowns = 0;  ///< breakdowns reported by the inner solver
   bool resumed = false;       ///< state was restored from a checkpoint
   int resume_step = 0;        ///< first step executed after the restore
+  int sdc_detections = 0;     ///< guard firings (ABFT / drift / admissibility)
+  int sdc_recomputes = 0;     ///< recompute-and-verify rungs taken
+  int sdc_rollbacks = 0;      ///< rollbacks to the last verified state
   /// Real wall-clock per phase: "flux" (residual evaluations, including
   /// matrix-free actions and line search), "jacobian" (analytic assembly),
   /// "factor" (preconditioner refactorization), "krylov" (solver

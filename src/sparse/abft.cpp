@@ -1,0 +1,86 @@
+#include "sparse/abft.hpp"
+
+#include <cfloat>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "exec/pool.hpp"
+#include "exec/reduce.hpp"
+#include "obs/obs.hpp"
+
+namespace f3d::sparse {
+
+void rebuild(AbftGuard& g, const Csr<double>& a) {
+  const int n = a.n;
+  g.colsum.assign(static_cast<std::size_t>(n), 0.0);
+  g.colsum_abs.assign(static_cast<std::size_t>(n), 0.0);
+  g.verifies = 0;
+  g.failures = 0;
+  // Column sums scatter across rows; keep the accumulation serial (it is
+  // O(nnz) once per reassembly, not once per product) so the checksum
+  // itself is trivially deterministic.
+  for (int i = 0; i < n; ++i)
+    for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p) {
+      const double v = a.val[p];
+      g.colsum[a.col[p]] += v;
+      g.colsum_abs[a.col[p]] += std::fabs(v);
+    }
+}
+
+void rebuild(AbftGuard& g, const Bcsr<double>& a) {
+  const int n = a.scalar_n();
+  const int nb = a.nb;
+  const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
+  g.colsum.assign(static_cast<std::size_t>(n), 0.0);
+  g.colsum_abs.assign(static_cast<std::size_t>(n), 0.0);
+  g.verifies = 0;
+  g.failures = 0;
+  for (int i = 0; i < a.nrows; ++i)
+    for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p) {
+      const double* b = &a.val[p * bsz];
+      const std::size_t j0 = static_cast<std::size_t>(a.col[p]) * nb;
+      for (int r = 0; r < nb; ++r)
+        for (int c = 0; c < nb; ++c) {
+          const double v = b[static_cast<std::size_t>(r) * nb + c];
+          g.colsum[j0 + c] += v;
+          g.colsum_abs[j0 + c] += std::fabs(v);
+        }
+    }
+}
+
+bool verify_spmv(AbftGuard& g, const double* x, const double* y,
+                 std::int64_t n) {
+  F3D_CHECK_MSG(g.valid(), "AbftGuard not built (call rebuild after assembly)");
+  F3D_CHECK_MSG(n == static_cast<std::int64_t>(g.colsum.size()),
+                "AbftGuard size does not match the vector length");
+  // Left side: 1ᵀy. Right side: cᵀx. Bound mass: (|A|ᵀ1)ᵀ|x|. All three
+  // use the fixed-block tree reductions, so pass/fail is bit-identical
+  // for any thread count.
+  const double lhs = exec::sum(n, y);
+  const double rhs = exec::dot(n, g.colsum.data(), x);
+  g.scratch_.resize(static_cast<std::size_t>(n));
+  double* ax = g.scratch_.data();
+  exec::pool().parallel_for(
+      0, n,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) ax[i] = std::fabs(x[i]);
+      },
+      /*grain=*/4096);
+  const double mass = exec::dot(n, g.colsum_abs.data(), ax);
+  const double bound = g.slack * DBL_EPSILON * mass;
+
+  ++g.verifies;
+  obs::Registry::global().count("abft.verifies");
+  // A non-finite side always fails: a flip that lands the exponent on
+  // all-ones produces Inf/NaN, and NaN comparisons would otherwise let
+  // it slip through the <= below.
+  const double diff = std::fabs(lhs - rhs);
+  const bool ok = std::isfinite(lhs) && std::isfinite(rhs) && diff <= bound;
+  if (!ok) {
+    ++g.failures;
+    obs::Registry::global().count("abft.verify_failures");
+  }
+  return ok;
+}
+
+}  // namespace f3d::sparse

@@ -1,0 +1,82 @@
+#pragma once
+// Algorithm-based fault tolerance (ABFT) for the sparse matrix-vector
+// product — the Huang-Abraham checksum idea applied to CSR/BCSR SpMV.
+//
+// Invariant: with c = Aᵀ·1 (per-column sums of A), exact arithmetic gives
+//   1ᵀ(A x) = cᵀ x        for every x.
+// Both sides are O(n) to evaluate (vs O(nnz) for the product itself), so
+// verifying every SpMV costs a few percent. A silent bit flip in A's
+// values, in x, or in the computed y breaks the identity by roughly the
+// magnitude of the corruption — far above rounding for exponent-bit
+// flips, while flips in the lowest mantissa bits can hide below the
+// noise floor (the measured "escape rate" of bench_sdc).
+//
+// Rounding bound (why a violation is corruption, not noise): float
+// summation of n terms t_i carries error <= gamma_n * sum_i |t_i| with
+// gamma_n ~ n * eps. Both sides of the identity sum the same bilinear
+// form sum_ij a_ij x_j whose absolute mass is sum_j cabs_j |x_j| with
+// cabs = |A|ᵀ·1, so
+//   |1ᵀ(Ax) - cᵀx| <= slack * eps * sum_j cabs_j |x_j|
+// with `slack` absorbing the summation-length factor (max column count
+// plus the reduction-tree depth; the default 1024 is comfortably above
+// any mesh this library builds while still 10+ orders below an
+// exponent flip). All four sums use the exec-layer fixed-block tree
+// reductions, so the verdict is bit-identical for any thread count.
+//
+// The checksum is a function of the matrix values: any reassembly
+// invalidates it (call rebuild(), exactly where the Jacobian refresh
+// happens in the psi-NKS driver).
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace f3d::sparse {
+
+/// Checksum state for one matrix. Build with rebuild(), check each
+/// product with verify_spmv(). Failures are tallied process-wide as
+/// "abft.verify_failures".
+struct AbftGuard {
+  std::vector<double> colsum;      ///< c = Aᵀ·1 (signed column sums)
+  std::vector<double> colsum_abs;  ///< |A|ᵀ·1 (rounding-bound mass)
+  double slack = 1024.0;           ///< multiplies eps in the bound
+  long long verifies = 0;          ///< products checked since rebuild()
+  long long failures = 0;          ///< bound violations observed
+
+  [[nodiscard]] bool valid() const { return !colsum.empty(); }
+  void invalidate() {
+    colsum.clear();
+    colsum_abs.clear();
+  }
+
+private:
+  friend bool verify_spmv(AbftGuard& g, const double* x, const double* y,
+                          std::int64_t n);
+  std::vector<double> scratch_;  ///< |x| buffer reused across verifies
+};
+
+/// Recompute the checksums from the current values of `a` (scalar
+/// columns; for Bcsr the checksum is over the scalar expansion, so it
+/// guards every one of the nb*nb entries of every block).
+void rebuild(AbftGuard& g, const Csr<double>& a);
+void rebuild(AbftGuard& g, const Bcsr<double>& a);
+
+/// Verify y == A x via the checksum identity; `y` must already hold the
+/// product. Returns true when the identity holds within the rounding
+/// bound. Counts into g.verifies/g.failures and the obs registry. The
+/// guard must be valid() and n must match the checksummed matrix.
+[[nodiscard]] bool verify_spmv(AbftGuard& g, const double* x, const double* y,
+                               std::int64_t n);
+
+/// Convenience: checked product. Computes y = A x, then verifies.
+template <class M>
+[[nodiscard]] bool spmv_verified(AbftGuard& g, const M& a,
+                                 const std::vector<double>& x,
+                                 std::vector<double>& y) {
+  a.spmv(x, y);
+  return verify_spmv(g, x.data(), y.data(),
+                     static_cast<std::int64_t>(y.size()));
+}
+
+}  // namespace f3d::sparse

@@ -331,6 +331,54 @@ TEST(Campaign, ReplayIsBitIdenticalFromSeed) {
   EXPECT_EQ(a.rank_alive, b.rank_alive);
 }
 
+// Silent halo corruption: the flip happens in memory, so the wire CRC
+// passes and detection is up to the receiving rank's downstream guards.
+TEST(Campaign, SilentHaloFlipIsCaughtDownstreamOrEscapes) {
+  CampaignRig rig;
+  auto run = [&](int bit, bool guards) {
+    FaultInjector inj(7);
+    FaultPlan p;  // one kBitFlip draw per alive rank per clean step
+    p.fire_every = 1;
+    p.skip_first = 3 * CampaignRig::kRanks + 1;  // step 3, rank 1
+    p.max_fires = 1;
+    inj.arm(FaultSite::kBitFlip, p);
+    inj.set_bit_flip({.bit = bit, .target = FlipTarget::kHalo});
+    par::CampaignOptions o;
+    o.checkpoint_interval = 5;
+    o.sdc_guards = guards;
+    o.injector = &inj;
+    return par::simulate_campaign(rig.machine, rig.domain, rig.work,
+                                  rig.steps, o);
+  };
+
+  // Exponent flip with guards on: caught, rolled back to the last buddy
+  // checkpoint, rework charged.
+  const auto caught = run(62, true);
+  EXPECT_TRUE(caught.completed);
+  EXPECT_EQ(caught.steps_executed, 20);
+  EXPECT_EQ(caught.sdc_injected, 1);
+  EXPECT_EQ(caught.sdc_caught, 1);
+  EXPECT_EQ(caught.sdc_escaped, 0);
+  EXPECT_GT(caught.t_rework, 0.0);
+  EXPECT_EQ(caught.log.count(RecoveryAction::kDetectSdc), 1);
+  EXPECT_EQ(caught.log.count(RecoveryAction::kSdcRollback), 1);
+
+  // Low mantissa bit: below the guards' noise floor — escapes into the
+  // campaign's answer with no recovery charge.
+  const auto low = run(8, true);
+  EXPECT_EQ(low.sdc_injected, 1);
+  EXPECT_EQ(low.sdc_caught, 0);
+  EXPECT_EQ(low.sdc_escaped, 1);
+  EXPECT_EQ(low.log.count(RecoveryAction::kSdcRollback), 0);
+  EXPECT_EQ(low.t_rework, 0.0);
+
+  // Guards off: even a loud exponent flip sails through.
+  const auto unguarded = run(62, false);
+  EXPECT_EQ(unguarded.sdc_caught, 0);
+  EXPECT_EQ(unguarded.sdc_escaped, 1);
+  EXPECT_EQ(unguarded.log.count(RecoveryAction::kDetectSdc), 0);
+}
+
 TEST(Campaign, SimultaneousBuddyPairLossIsUnrecoverable) {
   CampaignRig rig;
   // Ranks 0 and 1 (a buddy pair on the ring) both die in step 1, before

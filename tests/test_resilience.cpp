@@ -107,6 +107,67 @@ TEST(FaultInjector, UnarmedSitesNeverFire) {
   }
 }
 
+TEST(FaultInjector, ArmRejectsInvalidPlans) {
+  FaultInjector inj(1);
+  FaultPlan p;
+  p.probability = -0.1;
+  EXPECT_THROW(inj.arm(FaultSite::kResidual, p), f3d::Error);
+  p.probability = 1.5;
+  EXPECT_THROW(inj.arm(FaultSite::kResidual, p), f3d::Error);
+  p.probability = std::nan("");
+  EXPECT_THROW(inj.arm(FaultSite::kResidual, p), f3d::Error);
+  p = {};
+  p.fire_every = -1;
+  EXPECT_THROW(inj.arm(FaultSite::kResidual, p), f3d::Error);
+  p = {};
+  p.skip_first = -3;
+  EXPECT_THROW(inj.arm(FaultSite::kResidual, p), f3d::Error);
+  p = {};
+  p.max_fires = -1;
+  EXPECT_THROW(inj.arm(FaultSite::kResidual, p), f3d::Error);
+  EXPECT_THROW(inj.set_bit_flip({.bit = 64}), f3d::Error);
+  EXPECT_THROW(inj.set_bit_flip({.bit = -1}), f3d::Error);
+  // A rejected plan must not have disturbed the site: boundary values are
+  // fine and the stream starts from draw 0.
+  p = {};
+  p.probability = 1.0;
+  EXPECT_NO_THROW(inj.arm(FaultSite::kResidual, p));
+  EXPECT_TRUE(inj.should_fire(FaultSite::kResidual));
+  EXPECT_NO_THROW(inj.set_bit_flip({.bit = 0}));
+  EXPECT_NO_THROW(inj.set_bit_flip({.bit = 63}));
+}
+
+// Golden guarantee the SDC campaigns rely on: arming the kBitFlip site
+// must leave every other site's seeded stream bit-identical — per-site
+// PRNG streams are independent, and a bit-flip opportunity whose target
+// does not match consumes no draw.
+TEST(FaultInjector, ArmingBitFlipLeavesOtherStreamsIdentical) {
+  FaultPlan prob_plan;
+  prob_plan.probability = 0.37;
+  FaultInjector a(2024), b(2024);
+  for (auto* inj : {&a, &b}) {
+    inj->arm(FaultSite::kResidual, prob_plan);
+    inj->arm(FaultSite::kGmres, prob_plan);
+    inj->arm(FaultSite::kRankFail, prob_plan);
+  }
+  FaultPlan flips;
+  flips.fire_every = 2;
+  b.arm(FaultSite::kBitFlip, flips);
+  b.set_bit_flip({.bit = 55, .target = FlipTarget::kState});
+
+  for (int d = 0; d < 300; ++d) {
+    EXPECT_EQ(a.should_fire(FaultSite::kResidual),
+              b.should_fire(FaultSite::kResidual));
+    EXPECT_EQ(a.should_fire(FaultSite::kGmres),
+              b.should_fire(FaultSite::kGmres));
+    EXPECT_EQ(a.should_fire(FaultSite::kRankFail),
+              b.should_fire(FaultSite::kRankFail));
+    // b's bit-flip stream advances in between; a doesn't have one.
+    b.should_fire(FaultSite::kBitFlip);
+  }
+  EXPECT_GT(b.fires(FaultSite::kBitFlip), 0);
+}
+
 // --- status-returning factorization --------------------------------------
 
 sparse::Csr<double> tridiag_with_zero_pivot(int n, int zero_row) {
@@ -327,6 +388,34 @@ PtcOptions class_options(FaultClass cls, bool recovery) {
     opts.krylov = PtcOptions::Krylov::kBicgstab;
   opts.recovery.enabled = recovery;
   return opts;
+}
+
+// Campaign-level half of the golden guarantee: a recovery campaign with
+// an *idle* kBitFlip site armed (target kHalo — never announced inside
+// ptc_solve) reproduces the no-bit-flip campaign bit for bit.
+TEST(PtcRecovery, IdleBitFlipSiteKeepsCampaignBitIdentical) {
+  auto inj_a = make_campaign_injector(FaultClass::kNanResidual, 0);
+  std::vector<double> x_a;
+  auto res_a = run_wing(&inj_a, class_options(FaultClass::kNanResidual, true),
+                        &x_a);
+
+  auto inj_b = make_campaign_injector(FaultClass::kNanResidual, 0);
+  FaultPlan flips;
+  flips.fire_every = 1;
+  inj_b.arm(FaultSite::kBitFlip, flips);
+  inj_b.set_bit_flip({.bit = 62, .target = FlipTarget::kHalo});
+  std::vector<double> x_b;
+  auto res_b = run_wing(&inj_b, class_options(FaultClass::kNanResidual, true),
+                        &x_b);
+
+  EXPECT_EQ(inj_b.draws(FaultSite::kBitFlip), 0);  // no draws consumed
+  EXPECT_EQ(res_a.converged, res_b.converged);
+  EXPECT_EQ(res_a.steps, res_b.steps);
+  EXPECT_EQ(res_a.steps_rejected, res_b.steps_rejected);
+  EXPECT_EQ(res_a.final_residual, res_b.final_residual);
+  ASSERT_EQ(x_a.size(), x_b.size());
+  EXPECT_EQ(std::memcmp(x_a.data(), x_b.data(), x_a.size() * sizeof(double)),
+            0);
 }
 
 TEST(PtcRecovery, NanResidualIsRejectedAndRecovered) {
