@@ -10,7 +10,11 @@ Checks, in order:
      meta block carrying the schema tag. With --min-coverage, the
      depth-1 spans on the root span's tid must account for at least
      that fraction of the root span's duration.
-  3. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
+  3. BENCH_failslow.json (when committed) additionally carries the
+     fail-slow gates: a non-empty sweep with the per-cell keys, a
+     ladder-recovery fraction >= 0.5 against the 4x straggler, and zero
+     detector false positives over the clean campaigns.
+  4. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
      ROADMAP.md, or docs/*.md.
 
 Stdlib only; exits nonzero with one line per problem found.
@@ -48,6 +52,44 @@ def check_bench_report(path, errors):
         errors.append(f"{path}: meta.experiment must be a non-empty string")
     if "series" not in doc:
         errors.append(f"{path}: missing series member")
+        return
+    if meta.get("experiment") == "failslow":
+        check_failslow_series(path, doc["series"], errors)
+
+
+FAILSLOW_CELL_KEYS = (
+    "pattern", "severity", "policy", "seconds", "none_seconds",
+    "oracle_seconds", "recovered_frac", "slow_confirmed",
+    "detect_latency_steps",
+)
+
+
+def check_failslow_series(path, series, errors):
+    """Fail-slow gates re-checked from the committed artifact, so a stale
+    or hand-edited BENCH_failslow.json cannot pass the docs stage."""
+    if not isinstance(series, dict):
+        errors.append(f"{path}: failslow series must be an object")
+        return
+    sweep = series.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        errors.append(f"{path}: failslow sweep missing or empty")
+    else:
+        for k, cell in enumerate(sweep):
+            missing = [key for key in FAILSLOW_CELL_KEYS
+                       if not isinstance(cell, dict) or key not in cell]
+            if missing:
+                errors.append(f"{path}: sweep cell {k} missing "
+                              f"{', '.join(missing)}")
+    recovered = series.get("ladder_recovered_4x_straggler")
+    if not isinstance(recovered, (int, float)) or recovered < 0.5:
+        errors.append(f"{path}: ladder_recovered_4x_straggler is "
+                      f"{recovered!r}, need >= 0.5")
+    fp = series.get("false_positives")
+    if fp != 0:
+        errors.append(f"{path}: detector false_positives is {fp!r}, "
+                      "need exactly 0")
+    if not isinstance(series.get("clean_runs"), int) or series["clean_runs"] < 1:
+        errors.append(f"{path}: clean_runs missing or < 1")
 
 
 def check_trace(path, min_coverage, errors):

@@ -2,21 +2,26 @@
 # Full CI gate in one command:
 #   1. release build + complete test suite, then the sdc-labelled subset
 #      on its own (ABFT guards, bit-flip injection, Json/checkpoint
-#      hardening) so SDC regressions are visible as their own stage
+#      hardening) and the failslow-labelled subset (straggler injection,
+#      outlier detector, mitigation ladder) so each defense layer's
+#      regressions are visible as their own stage
 #   2. thread-scaling bench of the exec-layer kernels (writes
 #      BENCH_threading.json; also re-verifies bit-identity across thread
 #      counts and exits nonzero on any mismatch), then the SDC injection
 #      campaign (writes BENCH_sdc.json; exits nonzero when exponent-flip
 #      detection coverage drops below 90%, a clean run false-positives,
-#      or guard overhead exceeds 10%)
+#      or guard overhead exceeds 10%), then the fail-slow mitigation
+#      sweep (writes BENCH_failslow.json; exits nonzero when the ladder
+#      recovers < 50% of a 4x straggler's tax or the detector
+#      false-positives on a clean campaign)
 #   3. docs gate: a traced quickstart run must produce a schema-valid
 #      Chrome trace whose phase spans cover >=90% of the solve, every
 #      committed BENCH_*.json must carry the f3d-bench-v1 envelope, and
 #      the markdown must have no dead relative links
 #   4. ASan+UBSan build + the resilience-labelled tests (the fault
 #      injection / recovery / checkpoint / distributed-campaign paths,
-#      where memory bugs would hide behind error handling) + the
-#      sdc-labelled tests under the same sanitizers
+#      where memory bugs would hide behind error handling) + the sdc-
+#      and failslow-labelled tests under the same sanitizers
 #   5. TSan build + the threaded-labelled tests (the exec pool, colored
 #      scatters, level-scheduled solves) with a 4-thread pool
 #
@@ -41,11 +46,17 @@ ctest --preset release -j "$JOBS"
 echo "=== sdc-labelled tests (release) ==="
 ctest --preset release-sdc -j "$JOBS"
 
+echo "=== failslow-labelled tests (release) ==="
+ctest --preset release-failslow -j "$JOBS"
+
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
 
 echo "=== SDC injection campaign (BENCH_sdc.json) ==="
 ./build/bench/bench_sdc -out BENCH_sdc.json
+
+echo "=== fail-slow mitigation sweep (BENCH_failslow.json) ==="
+./build/bench/bench_failslow -out BENCH_failslow.json
 
 echo "=== docs gate: trace schema + bench envelopes + markdown links ==="
 F3D_TRACE=1 F3D_TRACE_OUT=build/ci_trace.json ./build/examples/quickstart
@@ -56,6 +67,7 @@ cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan-resilience -j "$JOBS"
 ctest --preset asan-sdc -j "$JOBS"
+ctest --preset asan-failslow -j "$JOBS"
 
 echo "=== tsan build + threaded-labelled tests ==="
 cmake --preset tsan

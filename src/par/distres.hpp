@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mesh/graph.hpp"
+#include "par/failslow.hpp"
 #include "par/loadmodel.hpp"
 #include "par/stepmodel.hpp"
 #include "partition/partition.hpp"
@@ -89,6 +90,23 @@ struct CampaignOptions {
   bool sdc_guards = true;
   int sdc_caught_min_bit = 48;
 
+  // Fail-slow tolerance (FaultSite::kSlowRank / kJitter / kDegradedLink,
+  // one opportunity each per alive rank per step — drawn on every step
+  // whether armed or not, so fault sequences stay comparable across
+  // mitigation policies). The campaign synthesizes share-normalized
+  // per-rank telemetry from the perturbed step model, feeds it to a
+  // SlowRankDetector, and climbs the mitigation ladder up to
+  // `slow_mitigation` when a rank is confirmed slow:
+  //   kRetry       — halo timeout + capped-backoff re-post (armed in the
+  //                  comm model; auto-derived when halo_timeout_us is 0)
+  //   kRepartition — part::repartition_for_imbalance with speeds measured
+  //                  from the telemetry (never from the injected truth)
+  //   kQuarantine  — migrate the slow rank to a spare (sharing the
+  //                  fail-stop spare pool) and retune the checkpoint
+  //                  interval for the observed fault escalation
+  SlowMitigation slow_mitigation = SlowMitigation::kNone;
+  DetectorOptions detector;  ///< outlier-detector tuning
+
   /// Drives kRankFail (fail-stop), kMessage (lossy interconnect) and
   /// kBitFlip/kHalo (silent halo corruption). Required; the campaign
   /// registers it for the simulation's duration.
@@ -111,6 +129,16 @@ struct CampaignResult {
   int sdc_injected = 0;  ///< halo flips delivered past the wire CRC
   int sdc_caught = 0;    ///< caught downstream by the receiving guards
   int sdc_escaped = 0;   ///< reached the campaign's answer undetected
+
+  // Fail-slow accounting.
+  int slow_suspected = 0;      ///< (rank, step) outlier flags raised
+  int slow_confirmed = 0;      ///< ranks confirmed slow by the detector
+  int slow_quarantined = 0;    ///< confirmed ranks migrated to spares
+  int weighted_repartitions = 0;  ///< kWeightedRepartition events
+  int checkpoint_retunes = 0;  ///< checkpoint-interval adaptations
+  /// Largest first-suspicion-to-confirmation latency, in steps (0 when
+  /// nothing was confirmed).
+  int slow_detect_latency_steps = 0;
 
   // Availability accounting (all modeled seconds).
   double t_checkpoint = 0;  ///< buddy checkpoint overhead

@@ -60,9 +60,24 @@ double model_flux_phase(const perf::MachineModel& machine,
 StepBreakdown model_step(const perf::MachineModel& machine,
                          const PartitionLoad& load,
                          const WorkCoefficients& work, const StepCounts& counts,
-                         NodeMode mode, const CommReliability* comm) {
+                         NodeMode mode, const CommReliability* comm,
+                         const StepPerturbation* perturb) {
   F3D_CHECK(load.procs >= 1);
   StepBreakdown out;
+  if (perturb != nullptr) {
+    F3D_CHECK_MSG(perturb->crit_slowdown >= 1.0 &&
+                      perturb->avg_slowdown >= 1.0 &&
+                      perturb->crit_slowdown >= perturb->avg_slowdown - 1e-12,
+                  "StepPerturbation slowdowns must satisfy "
+                  "crit >= avg >= 1");
+    F3D_CHECK_MSG(perturb->link_factor > 0.0 && perturb->link_factor <= 1.0,
+                  "StepPerturbation.link_factor must lie in (0, 1]");
+    F3D_CHECK_MSG(perturb->jitter >= 0.0,
+                  "StepPerturbation.jitter must be non-negative");
+    out.crit_slowdown = perturb->crit_slowdown;
+    out.link_factor = perturb->link_factor;
+    out.jitter_extra = perturb->jitter;
+  }
 
   // Fault-injection site: a slow (or effectively failed) rank stretches
   // the critical-path load of this step by the injector's magnitude while
@@ -76,6 +91,18 @@ StepBreakdown model_step(const perf::MachineModel& machine,
     eff.max_edges *= slow;
     eff.max_owned *= slow;
     out.straggler = true;
+    lp = &eff;
+  }
+  // Fail-slow compute terms: the slowest rank's busy time gates every
+  // implicit synchronization (critical path), while the mean stretch
+  // raises the busy baseline — the max-avg gap below turns the
+  // difference into imbalance wait.
+  if (perturb != nullptr && !perturb->trivial()) {
+    if (lp != &eff) eff = load;
+    eff.max_edges *= perturb->crit_slowdown;
+    eff.max_owned *= perturb->crit_slowdown;
+    eff.avg_edges *= perturb->avg_slowdown;
+    eff.avg_owned *= perturb->avg_slowdown;
     lp = &eff;
   }
   const PartitionLoad& load_eff = *lp;
@@ -97,7 +124,7 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   const double sparse_bytes_max =
       load_eff.max_owned * work.sparse_bytes_per_vertex_it;
   const double sparse_bytes_avg =
-      load.avg_owned * work.sparse_bytes_per_vertex_it;
+      load_eff.avg_owned * work.sparse_bytes_per_vertex_it;
   const double t_sparse_max = counts.linear_its * sparse_bytes_max / bw;
   out.t_sparse = counts.linear_its * sparse_bytes_avg / bw;
 
@@ -112,8 +139,11 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   // and 25% each to the reduction and scatter buckets.
   const double gap_flux = flux_evals * (t_flux_max - t_flux_avg);
   const double gap_sparse = t_sparse_max - out.t_sparse;
-  // Machine jitter adds an imbalance-like wait proportional to busy time.
-  const double jitter_wait = machine.jitter * (out.t_flux + out.t_sparse);
+  // Machine jitter adds an imbalance-like wait proportional to busy time;
+  // a fail-slow perturbation's transient OS-noise term stacks on top.
+  const double jitter_frac =
+      machine.jitter + (perturb != nullptr ? perturb->jitter : 0.0);
+  const double jitter_wait = jitter_frac * (out.t_flux + out.t_sparse);
   const double wait_total = gap_flux + gap_sparse + jitter_wait;
   out.t_implicit_sync = 0.5 * wait_total;
 
@@ -138,9 +168,43 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   // below the wire bandwidth.
   const double pack_bw = 0.3 * machine.mem_bw_mbs * 1e6;
   const double pack_time = 6.0 * ghost_bytes / pack_bw;
-  const double wire_time = 2.0 * ghost_bytes / (machine.net_bw_mbs * 1e6);
+  const double wire_healthy = 2.0 * ghost_bytes / (machine.net_bw_mbs * 1e6);
+  double wire_time = wire_healthy;
+  const double net_bw = machine.net_bw_mbs * 1e6;
+  const double msg_bytes = ghost_bytes / std::max(load.max_neighbors, 1.0);
+
+  // Contention on a degraded link: every message crossing the sick rank's
+  // links moves at link_factor * beta, and because the scatter is bulk-
+  // synchronous its max_neighbors peers all queue behind those transfers
+  // — the stretched wire time lands on the global critical path.
+  const double link =
+      perturb != nullptr ? perturb->link_factor : 1.0;
+  double t_timeout_recovery = 0;
+  if (link < 1.0) {
+    const double per_msg_degraded =
+        machine.net_latency_us * 1e-6 + msg_bytes / (net_bw * link);
+    const bool timeout_fires = comm != nullptr && comm->halo_timeout_us > 0 &&
+                               per_msg_degraded > comm->halo_timeout_us * 1e-6;
+    if (timeout_fires) {
+      // Mitigation rung 1: cancel the stalled send at the timeout and
+      // re-post it on the fallback path (secondary NIC / alternate
+      // route) at healthy bandwidth. The timeout wait, one capped
+      // backoff, and the re-posted transfer latency are charged to
+      // t_recovery; the scatter itself completes at healthy beta.
+      const int ops = static_cast<int>(std::lround(scatters));
+      const double backoff =
+          std::min(comm->backoff0_us, comm->backoff_max_us) * 1e-6;
+      const double repost = machine.net_latency_us * 1e-6 + msg_bytes / net_bw;
+      t_timeout_recovery =
+          ops * (comm->halo_timeout_us * 1e-6 + backoff + repost);
+      out.halo_timeouts += ops;
+    } else {
+      wire_time = wire_healthy / link;
+    }
+  }
   out.t_scatter =
       scatters * (msg_lat + wire_time + pack_time) + 0.25 * wait_total;
+  out.t_recovery += t_timeout_recovery;
 
   // --- lossy interconnect: checksums + retransmit with backoff ---------
   if (comm != nullptr) {
@@ -152,7 +216,6 @@ StepBreakdown model_step(const perf::MachineModel& machine,
     // One corruption opportunity per communication operation. A fired
     // message backs off exponentially and resends; each retry draws again
     // at the same site, so a burst of fires models a noisy link.
-    const double msg_bytes = ghost_bytes / std::max(load.max_neighbors, 1.0);
     const double msg_resend = machine.net_latency_us * 1e-6 +
                               msg_bytes / (machine.net_bw_mbs * 1e6) +
                               2.0 * msg_bytes / crc_bw;
@@ -164,7 +227,7 @@ StepBreakdown model_step(const perf::MachineModel& machine,
       int tries = 0;
       do {
         t += backoff + resend_cost;
-        backoff *= 2.0;
+        backoff = std::min(backoff * 2.0, comm->backoff_max_us * 1e-6);
         ++out.retransmits;
         obs::Registry::global().count("par.halo_retransmits");
         ++tries;
@@ -180,6 +243,11 @@ StepBreakdown model_step(const perf::MachineModel& machine,
     for (int i = 0; i < reduce_ops; ++i)
       if (resilience::fault_fires(resilience::FaultSite::kMessage))
         out.t_recovery += episode(red_resend);
+    // Bound the comm model's charge: however pathological the loss rate
+    // or the degraded link, one step's retransmit/timeout recovery never
+    // exceeds the configured cap (the campaign driver's rework/restore
+    // charges are added later and are not clamped here).
+    out.t_recovery = std::min(out.t_recovery, comm->step_recovery_cap_s);
   }
 
   out.scatter_bytes_total =
@@ -211,6 +279,10 @@ void SolveSimulation::add_step(const StepBreakdown& b) {
   aggregate.t_implicit_sync += b.t_implicit_sync;
   aggregate.t_recovery += b.t_recovery;
   aggregate.retransmits += b.retransmits;
+  aggregate.halo_timeouts += b.halo_timeouts;
+  aggregate.crit_slowdown = std::max(aggregate.crit_slowdown, b.crit_slowdown);
+  aggregate.link_factor = std::min(aggregate.link_factor, b.link_factor);
+  aggregate.jitter_extra = std::max(aggregate.jitter_extra, b.jitter_extra);
   aggregate.scatter_bytes_total += b.scatter_bytes_total;
   aggregate.flops_total += b.flops_total;
 }

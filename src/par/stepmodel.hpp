@@ -41,6 +41,34 @@ struct StepCounts {
   double scatters_per_linear_it = 2;  ///< ghost exchanges per iteration
 };
 
+/// Fail-slow perturbation of one modeled step. The campaign driver
+/// (par::simulate_campaign) derives it from its per-rank health state —
+/// persistent kSlowRank factors, this step's transient kJitter draws,
+/// and kDegradedLink bandwidth cuts — and model_step folds it into the
+/// alpha-beta machine model:
+///   * compute:  the critical-path load stretches by `crit_slowdown`
+///     (the slowest rank gates every implicit synchronization) while the
+///     average busy time stretches by `avg_slowdown`, so the max-avg gap
+///     — the imbalance wait — grows with the straggler's severity;
+///   * contention: every halo message to or from the degraded rank's
+///     links moves at `link_factor * beta`; bulk-synchronous scatters
+///     put that stretched transfer on the global critical path, and the
+///     sick rank's `max_neighbors` peers all queue behind it (the
+///     contention term of the extended model);
+///   * jitter: `jitter` adds a transient OS-noise wait proportional to
+///     busy time on top of the machine's baseline jitter.
+struct StepPerturbation {
+  double crit_slowdown = 1.0;  ///< critical-path compute stretch (>= 1)
+  double avg_slowdown = 1.0;   ///< mean compute stretch over ranks (>= 1)
+  double link_factor = 1.0;    ///< worst halo-link bandwidth factor, (0, 1]
+  double jitter = 0.0;         ///< extra per-step noise wait fraction (>= 0)
+
+  [[nodiscard]] bool trivial() const {
+    return crit_slowdown == 1.0 && avg_slowdown == 1.0 &&
+           link_factor == 1.0 && jitter == 0.0;
+  }
+};
+
 /// One pseudo-timestep's modeled time, split the way Table 3 splits it,
 /// plus the availability category the distributed resilience model adds.
 struct StepBreakdown {
@@ -69,6 +97,16 @@ struct StepBreakdown {
   /// Messages retransmitted this step (FaultSite::kMessage fires under an
   /// armed CommReliability model); their latency is in t_recovery.
   int retransmits = 0;
+  /// Halo sends that exceeded CommReliability::halo_timeout_us on a
+  /// degraded link and were re-posted on the fallback path; the retry
+  /// latency is in t_recovery and the transfer completes at healthy beta.
+  int halo_timeouts = 0;
+  // Fail-slow diagnostics: the perturbation actually applied (1/1/0 =
+  // clean step). Already included in the phase buckets above, never added
+  // to total() separately.
+  double crit_slowdown = 1.0;
+  double link_factor = 1.0;
+  double jitter_extra = 0.0;
 
   double scatter_bytes_total = 0;  ///< data moved per step, all procs
   /// "Application level effective bandwidth per node" (Table 3's last
@@ -98,17 +136,35 @@ struct CommReliability {
   double checksum_bw_fraction = 0.5;  ///< CRC pass speed vs. memory bw
   double backoff0_us = 50.0;          ///< first retransmit backoff
   int max_retries = 4;                ///< per message; all attempts charged
+  /// Cap on the exponential backoff: the doubling stops here, so a
+  /// pathological loss rate (or a huge max_retries) charges at most
+  /// max_retries * (backoff_max + resend) per episode instead of growing
+  /// geometrically without bound.
+  double backoff_max_us = 3200.0;
+  /// Hard clamp on the retransmit/timeout recovery time charged to one
+  /// step's StepBreakdown::t_recovery by the comm model (the campaign
+  /// driver's rework/restore charges land on top and are not clamped).
+  double step_recovery_cap_s = 30.0;
+  /// Fail-slow mitigation rung 1: a halo send whose modeled transfer time
+  /// on a degraded link exceeds this timeout is cancelled and re-posted on
+  /// the fallback path (secondary NIC / alternate route) at healthy
+  /// bandwidth, after a capped exponential backoff charged to t_recovery.
+  /// 0 disables the timeout — the sender waits out the sick link.
+  double halo_timeout_us = 0.0;
 };
 
 /// Model one pseudo-timestep. `load.procs` is the number of MPI ranks
 /// (for kMpi2 that is 2x the node count). A non-null `comm` enables the
 /// lossy-interconnect model (messages only corrupt when an injector arms
-/// FaultSite::kMessage; the checksum tax applies regardless).
+/// FaultSite::kMessage; the checksum tax applies regardless). A non-null
+/// `perturb` applies a fail-slow perturbation (slow ranks, degraded
+/// links, transient jitter) to the alpha-beta model.
 StepBreakdown model_step(const perf::MachineModel& machine,
                          const PartitionLoad& load,
                          const WorkCoefficients& work, const StepCounts& counts,
                          NodeMode mode = NodeMode::kMpi1,
-                         const CommReliability* comm = nullptr);
+                         const CommReliability* comm = nullptr,
+                         const StepPerturbation* perturb = nullptr);
 
 /// Model only the flux (function-evaluation) phase — Table 5's object.
 double model_flux_phase(const perf::MachineModel& machine,

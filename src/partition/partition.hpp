@@ -88,4 +88,26 @@ Partition repartition_after_failure(const mesh::Graph& g, const Partition& p,
                                     int dead_part,
                                     RepartitionReport* report = nullptr);
 
+/// Weighted execution-time imbalance of a partition under per-part
+/// processor speeds: max_s(size_s / speed_s) over non-empty parts,
+/// normalized by the ideal time n / sum(speed_s of non-empty parts).
+/// 1.0 = perfectly speed-proportional; >= 1 always.
+double weighted_imbalance(const Partition& p, const std::vector<double>& speed);
+
+/// Incremental diffusive rebalance for a fail-SLOW rank (alive but
+/// degraded): `speed[s]` is part s's measured relative processor speed
+/// (1.0 = healthy; a 4x straggler is 0.25). Boundary vertices migrate,
+/// one at a time, from the part with the largest weighted load
+/// L_s = size_s / speed_s to the adjacent non-empty part minimizing
+/// L_r + 1/speed_r, accepting a move only when that strictly undercuts
+/// the donor's load — so the weighted makespan max_s(L_s) is monotone
+/// non-increasing and the sorted load vector strictly decreases
+/// lexicographically (termination). Parts keep their ids; a fully
+/// drained donor is left empty. Deterministic: ties break on the lowest
+/// part id, then the lowest vertex id. `report` gets the *weighted*
+/// imbalance before/after and the migration counts.
+Partition repartition_for_imbalance(const mesh::Graph& g, const Partition& p,
+                                    const std::vector<double>& speed,
+                                    RepartitionReport* report = nullptr);
+
 }  // namespace f3d::part

@@ -104,4 +104,106 @@ Partition repartition_after_failure(const mesh::Graph& g, const Partition& p,
   return out;
 }
 
+namespace {
+
+double weighted_imbalance_of(const std::vector<int>& size,
+                             const std::vector<double>& speed) {
+  double max_load = 0, total_speed = 0;
+  std::int64_t total = 0;
+  for (std::size_t s = 0; s < size.size(); ++s) {
+    if (size[s] == 0) continue;
+    max_load = std::max(max_load, size[s] / speed[s]);
+    total_speed += speed[s];
+    total += size[s];
+  }
+  if (total == 0 || total_speed <= 0) return 0;
+  const double ideal = static_cast<double>(total) / total_speed;
+  return max_load / ideal;
+}
+
+}  // namespace
+
+double weighted_imbalance(const Partition& p,
+                          const std::vector<double>& speed) {
+  F3D_CHECK(static_cast<int>(speed.size()) == p.nparts);
+  std::vector<int> size(static_cast<std::size_t>(p.nparts), 0);
+  for (int v = 0; v < p.num_vertices(); ++v)
+    ++size[static_cast<std::size_t>(p.part[static_cast<std::size_t>(v)])];
+  return weighted_imbalance_of(size, speed);
+}
+
+Partition repartition_for_imbalance(const mesh::Graph& g, const Partition& p,
+                                    const std::vector<double>& speed,
+                                    RepartitionReport* report) {
+  const int n = static_cast<int>(g.ptr.size()) - 1;
+  F3D_CHECK(p.num_vertices() == n);
+  F3D_CHECK_MSG(static_cast<int>(speed.size()) == p.nparts,
+                "repartition_for_imbalance: speed.size() != nparts");
+  for (double s : speed)
+    F3D_CHECK_MSG(s > 0, "repartition_for_imbalance: speeds must be > 0");
+
+  Partition out = p;
+  std::vector<int> size(static_cast<std::size_t>(p.nparts), 0);
+  for (int v = 0; v < n; ++v) ++size[static_cast<std::size_t>(p.part[v])];
+  std::vector<double> w(static_cast<std::size_t>(p.nparts), 0);
+  std::vector<double> load(static_cast<std::size_t>(p.nparts), 0);
+  for (int s = 0; s < p.nparts; ++s) {
+    w[static_cast<std::size_t>(s)] = 1.0 / speed[static_cast<std::size_t>(s)];
+    load[static_cast<std::size_t>(s)] =
+        size[static_cast<std::size_t>(s)] * w[static_cast<std::size_t>(s)];
+  }
+
+  RepartitionReport rep;
+  rep.imbalance_before = weighted_imbalance_of(size, speed);
+
+  std::set<int> receivers;
+  // Safety cap well above the lexicographic-descent bound any real mesh
+  // hits; each accepted move strictly shrinks the sorted load vector.
+  const int max_moves = 8 * n + 8;
+  while (rep.moved_vertices < max_moves) {
+    // Donor: the part gating the weighted makespan.
+    int d = -1;
+    for (int s = 0; s < out.nparts; ++s)
+      if (size[static_cast<std::size_t>(s)] > 0 &&
+          (d < 0 ||
+           load[static_cast<std::size_t>(s)] > load[static_cast<std::size_t>(d)]))
+        d = s;
+    if (d < 0) break;
+    // Cheapest landing spot among the donor's boundary: the adjacent
+    // non-empty part whose load after accepting one vertex is smallest.
+    int best_v = -1, best_r = -1;
+    double best_after = 0;
+    for (int v = 0; v < n; ++v) {
+      if (out.part[v] != d) continue;
+      for (int e = g.ptr[v]; e < g.ptr[v + 1]; ++e) {
+        const int r = out.part[g.adj[e]];
+        if (r == d || size[static_cast<std::size_t>(r)] == 0) continue;
+        const double after = load[static_cast<std::size_t>(r)] +
+                             w[static_cast<std::size_t>(r)];
+        if (best_v < 0 || after < best_after ||
+            (after == best_after && (r < best_r || (r == best_r && v < best_v)))) {
+          best_v = v;
+          best_r = r;
+          best_after = after;
+        }
+      }
+    }
+    // Accept only a strict improvement of the donor: the receiver stays
+    // under the old makespan, so max_s(load) never increases.
+    if (best_v < 0 || best_after >= load[static_cast<std::size_t>(d)]) break;
+    out.part[best_v] = best_r;
+    --size[static_cast<std::size_t>(d)];
+    ++size[static_cast<std::size_t>(best_r)];
+    load[static_cast<std::size_t>(d)] -= w[static_cast<std::size_t>(d)];
+    load[static_cast<std::size_t>(best_r)] = best_after;
+    receivers.insert(best_r);
+    ++rep.moved_vertices;
+  }
+
+  rep.receiving_parts = static_cast<int>(receivers.size());
+  rep.imbalance_after = weighted_imbalance_of(size, speed);
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
 }  // namespace f3d::part

@@ -36,6 +36,9 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kRankFail: return "rank-failstop";
     case FaultSite::kMessage: return "message-corrupt";
     case FaultSite::kBitFlip: return "bit-flip";
+    case FaultSite::kSlowRank: return "slow-rank";
+    case FaultSite::kJitter: return "jitter";
+    case FaultSite::kDegradedLink: return "degraded-link";
   }
   return "unknown";
 }
@@ -69,6 +72,29 @@ void FaultInjector::arm(FaultSite site, const FaultPlan& plan) {
                 "FaultPlan.skip_first must be non-negative");
   F3D_CHECK_MSG(plan.max_fires >= 0,
                 "FaultPlan.max_fires must be non-negative");
+  // The fail-slow sites carry their severity in `magnitude`; reject the
+  // physically meaningless configurations up front so a campaign cannot
+  // silently model a rank that runs backwards or a link wider than new.
+  switch (site) {
+    case FaultSite::kSlowRank:
+      F3D_CHECK_MSG(plan.magnitude >= 1.0,
+                    "FaultPlan.magnitude for kSlowRank is a slowdown factor "
+                    "and must be >= 1 (a negative or sub-unit slowdown is "
+                    "not a straggler)");
+      break;
+    case FaultSite::kJitter:
+      F3D_CHECK_MSG(plan.magnitude > 0.0,
+                    "FaultPlan.magnitude for kJitter is the OS-noise sigma "
+                    "and must be > 0");
+      break;
+    case FaultSite::kDegradedLink:
+      F3D_CHECK_MSG(plan.magnitude > 0.0 && plan.magnitude <= 1.0,
+                    "FaultPlan.magnitude for kDegradedLink is a bandwidth "
+                    "factor and must lie in (0, 1]");
+      break;
+    default:
+      break;
+  }
   sites_[static_cast<std::size_t>(site_index(site))].plan = plan;
 }
 

@@ -31,8 +31,14 @@ enum class FaultSite : int {
   kRankFail = 5,     ///< fail-stop rank loss in the distributed campaign
   kMessage = 6,      ///< corrupted halo-exchange / reduction message
   kBitFlip = 7,      ///< silent finite-value bit flip (SDC; see bitflip.hpp)
+  // Fail-slow faults: ranks that degrade without dying (thermal throttle,
+  // OS noise, a sick NIC). One opportunity per alive rank per campaign
+  // step; the severity is the plan's `magnitude` (validated per site).
+  kSlowRank = 8,     ///< persistent compute slowdown factor (magnitude >= 1)
+  kJitter = 9,       ///< transient per-step OS-noise stretch (sigma > 0)
+  kDegradedLink = 10,  ///< halo-link bandwidth factor (magnitude in (0, 1])
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 11;
 
 [[nodiscard]] const char* fault_site_name(FaultSite site);
 
@@ -76,7 +82,11 @@ public:
 
   /// Arm one site; un-armed sites never fire. Throws f3d::Error on an
   /// invalid plan (probability outside [0, 1], negative fire_every /
-  /// skip_first / max_fires) instead of silently misbehaving.
+  /// skip_first / max_fires) instead of silently misbehaving. The
+  /// fail-slow sites additionally validate `magnitude`: a kSlowRank
+  /// slowdown factor must be >= 1 (a "negative slowdown" is not a
+  /// straggler), a kJitter sigma must be > 0, and a kDegradedLink
+  /// bandwidth factor must lie in (0, 1].
   void arm(FaultSite site, const FaultPlan& plan);
 
   /// Configure what a FaultSite::kBitFlip fire does (bit position +

@@ -34,6 +34,10 @@ const char* recovery_action_name(RecoveryAction action) {
     case RecoveryAction::kDetectSdc: return "sdc-detected";
     case RecoveryAction::kSdcRecompute: return "sdc-recompute";
     case RecoveryAction::kSdcRollback: return "sdc-rollback";
+    case RecoveryAction::kDetectSlowRank: return "detect-slow-rank";
+    case RecoveryAction::kWeightedRepartition: return "weighted-repartition";
+    case RecoveryAction::kQuarantineSlowRank: return "quarantine-slow-rank";
+    case RecoveryAction::kCheckpointRetune: return "checkpoint-retune";
   }
   return "unknown";
 }

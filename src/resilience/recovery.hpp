@@ -37,6 +37,12 @@ enum class RecoveryAction : int {
   kDetectSdc,              ///< finite-value corruption flagged by a guard
   kSdcRecompute,           ///< recompute-and-verify rung (transient flips)
   kSdcRollback,            ///< state restored from the in-memory snapshot
+  // Fail-slow tolerance (par::simulate_campaign's mitigation ladder).
+  // Appended at the end: the enum value is serialized in checkpoints.
+  kDetectSlowRank,         ///< outlier detector confirmed a degraded rank
+  kWeightedRepartition,    ///< load shifted away from a slow-but-alive rank
+  kQuarantineSlowRank,     ///< confirmed-slow rank migrated to a spare
+  kCheckpointRetune,       ///< checkpoint interval adapted to the fault rate
 };
 
 [[nodiscard]] const char* recovery_action_name(RecoveryAction action);
