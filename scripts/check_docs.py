@@ -14,7 +14,13 @@ Checks, in order:
      fail-slow gates: a non-empty sweep with the per-cell keys, a
      ladder-recovery fraction >= 0.5 against the 4x straggler, and zero
      detector false positives over the clean campaigns.
-  4. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
+  4. BENCH_deadline.json (when committed) carries the run-to-completion
+     gates: the degradation ladder's on-time rate >= 0.95 (and above the
+     no-ladder baseline), zero stall-watchdog false positives on clean
+     scenarios with the stall scenario detected, and p99 cancellation
+     latency within the documented work-unit bound at 1, 2 and 4
+     threads with thread-invariant cancelled states.
+  5. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
      ROADMAP.md, or docs/*.md.
 
 Stdlib only; exits nonzero with one line per problem found.
@@ -55,6 +61,8 @@ def check_bench_report(path, errors):
         return
     if meta.get("experiment") == "failslow":
         check_failslow_series(path, doc["series"], errors)
+    if meta.get("experiment") == "deadline":
+        check_deadline_series(path, doc["series"], errors)
 
 
 FAILSLOW_CELL_KEYS = (
@@ -90,6 +98,79 @@ def check_failslow_series(path, series, errors):
                       "need exactly 0")
     if not isinstance(series.get("clean_runs"), int) or series["clean_runs"] < 1:
         errors.append(f"{path}: clean_runs missing or < 1")
+
+
+DEADLINE_CELL_KEYS = (
+    "scenario", "budget_frac", "ladder", "verdict", "on_time",
+    "budget_units", "work_units", "residual_drop_orders", "degrade_rungs",
+)
+
+
+def check_deadline_series(path, series, errors):
+    """Run-to-completion gates re-checked from the committed artifact, so
+    a stale or hand-edited BENCH_deadline.json cannot pass the docs
+    stage."""
+    if not isinstance(series, dict):
+        errors.append(f"{path}: deadline series must be an object")
+        return
+    sweep = series.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        errors.append(f"{path}: deadline sweep missing or empty")
+    else:
+        for k, cell in enumerate(sweep):
+            missing = [key for key in DEADLINE_CELL_KEYS
+                       if not isinstance(cell, dict) or key not in cell]
+            if missing:
+                errors.append(f"{path}: sweep cell {k} missing "
+                              f"{', '.join(missing)}")
+    ladder = series.get("on_time_rate_ladder")
+    if not isinstance(ladder, (int, float)) or ladder < 0.95:
+        errors.append(f"{path}: on_time_rate_ladder is {ladder!r}, "
+                      "need >= 0.95")
+    baseline = series.get("on_time_rate_none")
+    if not isinstance(baseline, (int, float)):
+        errors.append(f"{path}: on_time_rate_none missing")
+    elif isinstance(ladder, (int, float)) and baseline >= ladder:
+        errors.append(f"{path}: on_time_rate_none ({baseline!r}) must be "
+                      f"below the ladder rate ({ladder!r}) - the ladder "
+                      "must demonstrably buy on-time completions")
+    fp = series.get("watchdog_false_positives")
+    if fp != 0:
+        errors.append(f"{path}: watchdog_false_positives is {fp!r}, "
+                      "need exactly 0")
+    if not isinstance(series.get("clean_runs"), int) or series["clean_runs"] < 1:
+        errors.append(f"{path}: clean_runs missing or < 1")
+    if series.get("stall_detected") is not True:
+        errors.append(f"{path}: stall_detected must be true - the watchdog "
+                      "missed the stall scenario")
+    bound = series.get("cancel_latency_bound_units")
+    if not isinstance(bound, int) or bound < 1:
+        errors.append(f"{path}: cancel_latency_bound_units missing or < 1")
+        bound = None
+    lat = series.get("cancel_latency")
+    if not isinstance(lat, list) or not lat:
+        errors.append(f"{path}: cancel_latency missing or empty")
+    else:
+        threads = set()
+        for k, row in enumerate(lat):
+            if not isinstance(row, dict):
+                errors.append(f"{path}: cancel_latency row {k} not an object")
+                continue
+            threads.add(row.get("threads"))
+            p99 = row.get("p99_latency_units")
+            if not isinstance(p99, int):
+                errors.append(f"{path}: cancel_latency row {k} missing "
+                              "p99_latency_units")
+            elif bound is not None and p99 > bound:
+                errors.append(f"{path}: p99 cancellation latency {p99} at "
+                              f"{row.get('threads')} thread(s) exceeds the "
+                              f"documented bound {bound}")
+        if not {1, 2, 4} <= threads:
+            errors.append(f"{path}: cancel_latency must cover 1, 2 and 4 "
+                          f"threads (got {sorted(t for t in threads if t)})")
+    if series.get("cancel_states_thread_invariant") is not True:
+        errors.append(f"{path}: cancel_states_thread_invariant must be true "
+                      "- cancelled states diverged across thread counts")
 
 
 def check_trace(path, min_coverage, errors):

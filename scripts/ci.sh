@@ -13,7 +13,12 @@
 #      or guard overhead exceeds 10%), then the fail-slow mitigation
 #      sweep (writes BENCH_failslow.json; exits nonzero when the ladder
 #      recovers < 50% of a 4x straggler's tax or the detector
-#      false-positives on a clean campaign)
+#      false-positives on a clean campaign), then the deadline oracle
+#      campaign (writes BENCH_deadline.json; exits nonzero when the
+#      degradation ladder's on-time rate drops below 95%, the stall
+#      watchdog false-positives on a clean scenario or misses the stall
+#      scenario, or p99 cancellation latency exceeds the documented
+#      work-unit bound at 1/2/4 threads)
 #   3. docs gate: a traced quickstart run must produce a schema-valid
 #      Chrome trace whose phase spans cover >=90% of the solve, every
 #      committed BENCH_*.json must carry the f3d-bench-v1 envelope, and
@@ -49,6 +54,14 @@ ctest --preset release-sdc -j "$JOBS"
 echo "=== failslow-labelled tests (release) ==="
 ctest --preset release-failslow -j "$JOBS"
 
+# Hang-detection lane: the run-to-completion tests exercise deadlines and
+# cancellation, where a regression shows up as a wedge, not a wrong
+# answer. Every test carries a TIMEOUT property and the preset adds a
+# hard 120 s cap, so a hung solve fails loudly here instead of stalling
+# the pipeline.
+echo "=== guard-labelled tests (release, hang-detection lane) ==="
+ctest --preset release-guard -j "$JOBS" --timeout 120
+
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
 
@@ -57,6 +70,9 @@ echo "=== SDC injection campaign (BENCH_sdc.json) ==="
 
 echo "=== fail-slow mitigation sweep (BENCH_failslow.json) ==="
 ./build/bench/bench_failslow -out BENCH_failslow.json
+
+echo "=== deadline oracle campaign (BENCH_deadline.json) ==="
+./build/bench/bench_deadline -out BENCH_deadline.json
 
 echo "=== docs gate: trace schema + bench envelopes + markdown links ==="
 F3D_TRACE=1 F3D_TRACE_OUT=build/ci_trace.json ./build/examples/quickstart

@@ -4,6 +4,7 @@
 
 #include "cfd/admissibility.hpp"
 #include "common/error.hpp"
+#include "guard/guard.hpp"
 
 namespace f3d::cfd {
 
@@ -25,12 +26,18 @@ void EulerProblem::load(const std::vector<double>& x) {
 
 void EulerProblem::residual(const std::vector<double>& x,
                             std::vector<double>& r) {
+  // Cooperative cancellation boundary: flux evaluation is the dominant
+  // cost class, so a tripped guard abandons it before any work — this is
+  // what makes cancellation latency deterministic even when the kernels
+  // below run serially (no parallel_for poll to hit).
+  guard::poll_cancellation();
   load(x);
   disc_.residual(field_, r);
 }
 
 void EulerProblem::jacobian(const std::vector<double>& x,
                             sparse::Bcsr<double>& jac) {
+  guard::poll_cancellation();
   load(x);
   disc_.jacobian(field_, jac);
 }

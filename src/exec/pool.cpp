@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "guard/guard.hpp"
 #include "obs/obs.hpp"
 
 namespace f3d::exec {
@@ -56,6 +57,11 @@ void ThreadPool::run_chunk(int id) {
   const std::int64_t hi = begin_ + n * (id + 1) / participants_;
   tl_in_parallel = true;
   try {
+    // Cooperative cancellation boundary: a tripped guard abandons the
+    // chunk before it starts. The throw is captured below and rethrown on
+    // the calling thread like any other chunk exception, so workers stay
+    // alive and the pool stays reusable after a cancelled solve.
+    guard::poll_cancellation();
     // Recorded into the executing thread's buffer, so a trace shows the
     // chunks of one parallel_for fanned out across worker rows.
     F3D_OBS_SPAN("exec.chunk");
@@ -90,6 +96,9 @@ void ThreadPool::parallel_for(
   std::int64_t p = nt_;
   if (grain > 0) p = std::min<std::int64_t>(p, (n + grain - 1) / grain);
   if (p <= 1 || tl_in_parallel || workers_.empty()) {
+    // Single-thread and nested-inline paths must honor cancellation too,
+    // or a 1-thread solve would have unbounded cancel latency.
+    guard::poll_cancellation();
     body(begin, end);
     return;
   }

@@ -1,0 +1,50 @@
+#pragma once
+// Progress watchdog: detects livelock-style stalls the per-rung solver
+// watchdogs miss — the outer PTC loop cycling (accept, reject, recover)
+// while the nonlinear residual goes nowhere. Deliberately deterministic:
+// it observes only the accepted-step residual history, never the wall
+// clock, so a clean converging solve can never false-positive because a
+// machine was slow that day, and a fired verdict reproduces exactly under
+// any thread count. bench_deadline gates "zero false positives on clean
+// scenarios" against this property.
+
+#include <cstddef>
+#include <vector>
+
+namespace f3d::guard {
+
+struct WatchdogOptions {
+  bool enabled = false;
+  /// Number of accepted steps in the comparison window. The watchdog can
+  /// only fire after this many accepted steps have been observed.
+  int window = 30;
+  /// Fire when rnorm_now >= stall_ratio * rnorm_window_ago, i.e. the
+  /// residual improved by less than a factor 1/stall_ratio across the
+  /// whole window. Near-1 values tolerate long plateaus that eventually
+  /// break; psi-NKS transonic continuation routinely idles for a few
+  /// steps, so the window must be generous.
+  double stall_ratio = 0.995;
+};
+
+/// Ring buffer over accepted-step residual norms. observe() returns true
+/// the first time a stall is detected; callers map that to
+/// SolveVerdict::kStagnated.
+class ProgressWatchdog {
+ public:
+  explicit ProgressWatchdog(const WatchdogOptions& opts);
+
+  /// Record one accepted step's residual norm; returns true when the
+  /// stall condition fires (at most once per watchdog instance).
+  bool observe(double rnorm);
+
+  [[nodiscard]] bool fired() const { return fired_; }
+  [[nodiscard]] long long steps_observed() const { return observed_; }
+
+ private:
+  WatchdogOptions opts_;
+  std::vector<double> ring_;
+  long long observed_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace f3d::guard

@@ -192,6 +192,28 @@ CampaignResult simulate_campaign(const perf::MachineModel& machine,
   for (int s = 0; s < nsteps; ++s) {
     F3D_OBS_SPAN("campaign.step");
 
+    // Run-to-completion guard at the step boundary. The modeled-seconds
+    // budget is deterministic (no wall clock involved); the cancel token
+    // is cooperative with one-modeled-step latency. Either exit keeps
+    // every accounting field consistent — the campaign simply ends here
+    // with a verdict instead of burning the remaining steps.
+    if (opts.cancel != nullptr && opts.cancel->requested()) {
+      r.completed = false;
+      r.verdict = guard::SolveVerdict::kCancelled;
+      r.log.add(s, resilience::RecoveryAction::kGuardTrip,
+                "campaign cancelled after " + std::to_string(s) + " step(s)");
+      break;
+    }
+    if (opts.budget_modeled_s > 0 &&
+        r.total_seconds() >= opts.budget_modeled_s) {
+      r.completed = false;
+      r.verdict = guard::SolveVerdict::kDeadline;
+      r.log.add(s, resilience::RecoveryAction::kGuardTrip,
+                "modeled budget exhausted after " + std::to_string(s) +
+                    " step(s)");
+      break;
+    }
+
     // Fail-slow opportunities: one per site per alive rank, in rank
     // order, drawn on EVERY step whether the sites are armed or not —
     // the streams advance identically across mitigation policies, so
@@ -534,6 +556,11 @@ CampaignResult simulate_campaign(const perf::MachineModel& machine,
         std::max(r.slow_detect_latency_steps, detector.detect_latency(rank));
   r.sim.finalize(domain.load.procs);
   r.final_load = load;
+  // Unrecoverable exits (state lost, no survivors) set completed=false
+  // without a guard verdict; classify them here so every campaign exit
+  // lands in the taxonomy.
+  if (!r.completed && r.verdict == guard::SolveVerdict::kConverged)
+    r.verdict = guard::SolveVerdict::kFaultUnrecoverable;
   return r;
 }
 

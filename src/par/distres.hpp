@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "guard/guard.hpp"
 #include "mesh/graph.hpp"
 #include "par/failslow.hpp"
 #include "par/loadmodel.hpp"
@@ -111,15 +112,28 @@ struct CampaignOptions {
   /// kBitFlip/kHalo (silent halo corruption). Required; the campaign
   /// registers it for the simulation's duration.
   resilience::FaultInjector* injector = nullptr;
+
+  // Run-to-completion guard. The budget is on *modeled* seconds, checked
+  // at every step boundary — deterministic by construction (same domain,
+  // options and seed trip at the same step, whatever the host machine).
+  // The cancel token is cooperative with one-modeled-step latency.
+  double budget_modeled_s = 0;           ///< 0 = unbounded
+  guard::CancelToken* cancel = nullptr;  ///< optional cancel handle
 };
 
 struct CampaignResult {
   SolveSimulation sim;  ///< per-step model; failure charges in t_recovery
   /// False when state was unrecoverable: a rank and its buddy died before
-  /// a re-mirror (the diskless double-failure window), or no rank
-  /// survived. The simulation stops at that step.
+  /// a re-mirror (the diskless double-failure window), no rank survived,
+  /// or the run-to-completion guard ended the campaign early (see
+  /// verdict). The simulation stops at that step.
   bool completed = true;
   int steps_executed = 0;
+
+  /// Exit taxonomy: kConverged (all steps executed), kDeadline (modeled
+  /// budget exhausted), kCancelled (cooperative cancel honored), or
+  /// kFaultUnrecoverable (state lost).
+  guard::SolveVerdict verdict = guard::SolveVerdict::kConverged;
 
   int rank_failures = 0;
   int spares_used = 0;

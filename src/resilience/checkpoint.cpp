@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/crc32.hpp"
+#include "obs/obs.hpp"
 
 namespace f3d::resilience {
 
@@ -177,8 +178,18 @@ bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck) {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
     out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    // Flush inside the check, not in the destructor: a full disk or I/O
+    // error on close must fail the save, never leave a short tmp behind
+    // to be renamed over a good checkpoint.
+    out.flush();
     if (!out) return false;
   }
+  // Keep the previous verified checkpoint as <path>.prev before the new
+  // one takes its place: if the new file is later torn or bit-rotted on
+  // disk (the CRC rejects it at load), restore falls back one generation
+  // instead of losing the run. Failure to rotate is not fatal — the first
+  // save has no predecessor.
+  std::rename(path.c_str(), (path + ".prev").c_str());
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
@@ -188,6 +199,23 @@ std::optional<PtcCheckpoint> load_checkpoint(const std::string& path) {
   std::string buf((std::istreambuf_iterator<char>(in)),
                   std::istreambuf_iterator<char>());
   return decode_checkpoint(buf);
+}
+
+std::optional<PtcCheckpoint> load_checkpoint_with_fallback(
+    const std::string& path, std::string* loaded_from) {
+  if (auto ck = load_checkpoint(path)) {
+    if (loaded_from != nullptr) *loaded_from = path;
+    return ck;
+  }
+  // Primary missing, truncated, or corrupt (the CRC frame rejects torn
+  // writes): fall back to the previous verified generation.
+  const std::string prev = path + ".prev";
+  if (auto ck = load_checkpoint(prev)) {
+    obs::Registry::global().count("resilience.checkpoint_fallbacks");
+    if (loaded_from != nullptr) *loaded_from = prev;
+    return ck;
+  }
+  return std::nullopt;
 }
 
 }  // namespace f3d::resilience

@@ -72,11 +72,24 @@ std::string encode_checkpoint(const PtcCheckpoint& ck);
 /// CRC — corruption is always rejected, never deserialized.
 std::optional<PtcCheckpoint> decode_checkpoint(const std::string& bytes);
 
-/// Serialize to `path` atomically; returns false on any I/O failure.
+/// Serialize to `path` failure-atomically: write `path + ".tmp"`, flush
+/// and check every byte, rotate any existing primary to `path + ".prev"`,
+/// then atomically rename the temp into place. A crash or full disk at
+/// any point leaves either the new checkpoint, the old one, or both the
+/// old one and a rejected partial — never a silently-corrupt primary
+/// with no fallback. Returns false on any I/O failure.
 bool save_checkpoint(const std::string& path, const PtcCheckpoint& ck);
 
 /// Returns nullopt if the file is missing, truncated, corrupt (CRC
 /// mismatch), or not a checkpoint of the current format version.
 std::optional<PtcCheckpoint> load_checkpoint(const std::string& path);
+
+/// load_checkpoint on the primary, falling back to the previous verified
+/// generation (`path + ".prev"`, kept by save_checkpoint) when the
+/// primary is missing or fails validation — e.g. a torn write discovered
+/// at restore time. `loaded_from`, if given, receives the path actually
+/// restored. Counts obs `resilience.checkpoint_fallbacks` on fallback.
+std::optional<PtcCheckpoint> load_checkpoint_with_fallback(
+    const std::string& path, std::string* loaded_from = nullptr);
 
 }  // namespace f3d::resilience

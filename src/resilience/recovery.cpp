@@ -38,6 +38,9 @@ const char* recovery_action_name(RecoveryAction action) {
     case RecoveryAction::kWeightedRepartition: return "weighted-repartition";
     case RecoveryAction::kQuarantineSlowRank: return "quarantine-slow-rank";
     case RecoveryAction::kCheckpointRetune: return "checkpoint-retune";
+    case RecoveryAction::kGuardTrip: return "guard-trip";
+    case RecoveryAction::kDetectStall: return "detect-stall";
+    case RecoveryAction::kDegradeRung: return "degrade-rung";
   }
   return "unknown";
 }

@@ -43,6 +43,12 @@ enum class RecoveryAction : int {
   kWeightedRepartition,    ///< load shifted away from a slow-but-alive rank
   kQuarantineSlowRank,     ///< confirmed-slow rank migrated to a spare
   kCheckpointRetune,       ///< checkpoint interval adapted to the fault rate
+  // Run-to-completion guard (f3d::guard; deadlines, cancellation,
+  // degradation). Appended at the end: the value is serialized in
+  // checkpoints.
+  kGuardTrip,              ///< budget/cancel trip ended the solve
+  kDetectStall,            ///< progress watchdog fired (livelock-style stall)
+  kDegradeRung,            ///< degradation ladder traded accuracy for time
 };
 
 [[nodiscard]] const char* recovery_action_name(RecoveryAction action);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "guard/guard.hpp"
 #include "obs/obs.hpp"
 #include "resilience/bitflip.hpp"
 #include "resilience/faults.hpp"
@@ -32,6 +33,14 @@ BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
 
   double rho_prev = 1, alpha = 1, omega = 1;
   while (res.iterations < opts.max_iters && rnorm > target) {
+    // Budget charge at the iteration boundary (see GmresOptions::guard):
+    // the deterministic trip point for bounded cancellation latency.
+    if (opts.guard != nullptr &&
+        opts.guard->charge(guard::kUnitsKrylovIter) !=
+            guard::TripReason::kNone) {
+      res.guard_tripped = true;
+      break;
+    }
     // Fault-injection site: forced rho collapse (breakdown) at the top of
     // the iteration.
     if (resilience::fault_fires(resilience::FaultSite::kBicgstab)) {
@@ -128,7 +137,8 @@ BicgstabResult bicgstab(const LinearOperator& a, const Preconditioner& m,
   // corrupted after its last check. One extra matvec closes both windows.
   // Rounding-level residuals are skipped — estimate and truth legitimately
   // part ways there.
-  if (opts.sdc_drift_tol > 0 && res.iterations > 0 && !res.breakdown) {
+  if (opts.sdc_drift_tol > 0 && res.iterations > 0 && !res.breakdown &&
+      !res.guard_tripped) {
     a.apply(x.data(), t.data());
     ++res.counters.matvecs;
     for (int i = 0; i < n; ++i) t[i] = b[i] - t[i];

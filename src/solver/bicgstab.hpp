@@ -10,6 +10,10 @@
 
 #include "solver/linear.hpp"
 
+namespace f3d::guard {
+class SolveGuard;
+}
+
 namespace f3d::solver {
 
 struct BicgstabOptions {
@@ -24,6 +28,11 @@ struct BicgstabOptions {
   // costs one extra matvec per check; 0 in either field disables it.
   int true_residual_every = 0;
   double sdc_drift_tol = 0;
+
+  // Run-to-completion guard (f3d::guard). When set, every iteration
+  // charges guard::kUnitsKrylovIter; a budget/cancel trip ends the solve
+  // cleanly at the next iteration boundary with guard_tripped set.
+  guard::SolveGuard* guard = nullptr;
 };
 
 struct BicgstabResult {
@@ -32,6 +41,7 @@ struct BicgstabResult {
   double initial_residual = 0;
   double final_residual = 0;
   bool breakdown = false;  ///< rho or omega collapsed
+  bool guard_tripped = false;  ///< budget/cancel trip ended the solve early
   bool sdc_suspected = false;  ///< true-residual check exceeded sdc_drift_tol
   double sdc_drift = 0;        ///< worst relative drift observed
   SolveCounters counters;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "guard/guard.hpp"
 #include "obs/obs.hpp"
 #include "resilience/bitflip.hpp"
 #include "resilience/faults.hpp"
@@ -23,6 +24,7 @@ using sparse::Vec;
 int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
                 const Vec& b, Vec& x, int m, double target, double* resid,
                 Orthogonalization orth, SolveCounters& ctr,
+                guard::SolveGuard* sguard, bool* guard_tripped,
                 double* entry_beta = nullptr) {
   const int n = a.n;
   Vec r(n), w(n), z(n);
@@ -49,6 +51,15 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
 
   int j = 0;
   for (; j < m; ++j) {
+    // Budget charge at the iteration boundary: the deterministic trip
+    // point the cancellation-latency bound is documented against. The
+    // cycle ends cleanly (the basis built so far is still applied below)
+    // and the caller stops restarting.
+    if (sguard != nullptr &&
+        sguard->charge(guard::kUnitsKrylovIter) != guard::TripReason::kNone) {
+      *guard_tripped = true;
+      break;
+    }
     // w = A M^{-1} v_j.
     prec.apply(v[j].data(), z.data());
     ++ctr.prec_applies;
@@ -124,9 +135,11 @@ int gmres_cycle(const LinearOperator& a, const Preconditioner& prec,
   }
 
   // Back-substitute y from the triangularized Hessenberg, then
-  // x += M^{-1} (V y).
+  // x += M^{-1} (V y). Skipped after a guard trip: the preconditioner
+  // apply would hit its own poll point, and the driver discards the
+  // attempt on trip anyway.
   const int k = j;
-  if (k > 0) {
+  if (k > 0 && !*guard_tripped) {
     std::vector<double> y(k);
     for (int i = k - 1; i >= 0; --i) {
       double s = g[i];
@@ -179,8 +192,10 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
     const double resid_before = resid;
     const int room = std::min(opts.restart, opts.max_iters - res.iterations);
     double entry_beta = 0;
+    bool guard_tripped = false;
     const int done = gmres_cycle(a, m, b, x, room, target, &resid, opts.orth,
-                                 res.counters, &entry_beta);
+                                 res.counters, opts.guard, &guard_tripped,
+                                 &entry_beta);
     // Krylov invariant monitor: the recurrence estimate the previous
     // cycle ended with (resid_before) and the true residual this cycle
     // just computed (entry_beta) agree to rounding unless something was
@@ -195,6 +210,11 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
     }
     res.iterations += done;
     ++restart_cycles;
+    if (guard_tripped) {
+      res.guard_tripped = true;
+      res.reason = "guard trip: budget/cancel ended the solve";
+      break;
+    }
     if (done == 0) break;  // stagnation or immediate convergence
     // Stagnation watchdog: stop burning restarts that make no progress.
     if (resid > target && resid >= opts.stagnation_factor * resid_before) {
@@ -215,7 +235,9 @@ GmresResult gmres(const LinearOperator& a, const Preconditioner& m,
   // iterate; corruption of the Arnoldi recurrence shows up as a gap
   // between it and the recurrence estimate. Residuals at rounding level
   // are skipped — estimate and truth legitimately part ways there.
-  if (opts.sdc_drift_tol > 0 && res.iterations > 0) {
+  // (Skipped after a guard trip: the extra matvec would re-enter the
+  // tripped operator and the attempt is being discarded anyway.)
+  if (opts.sdc_drift_tol > 0 && res.iterations > 0 && !res.guard_tripped) {
     Vec r(a.n);
     a.apply(x.data(), r.data());
     ++res.counters.matvecs;

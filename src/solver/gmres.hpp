@@ -7,6 +7,10 @@
 
 #include "solver/linear.hpp"
 
+namespace f3d::guard {
+class SolveGuard;
+}
+
 namespace f3d::solver {
 
 enum class Orthogonalization {
@@ -42,6 +46,12 @@ struct GmresOptions {
   // disables the check. The comparison reuses an existing matvec, so the
   // monitor is free.
   double sdc_drift_tol = 0;
+
+  // Run-to-completion guard (f3d::guard). When set, every Krylov
+  // iteration charges guard::kUnitsKrylovIter; a budget/cancel trip ends
+  // the solve cleanly at the next iteration boundary with guard_tripped
+  // set (bounded, deterministic cancellation latency).
+  guard::SolveGuard* guard = nullptr;
 };
 
 struct GmresResult {
@@ -49,6 +59,7 @@ struct GmresResult {
   bool stagnated = false;   ///< stopped by the stagnation watchdog
   bool sdc_suspected = false;  ///< recurrence/true-residual drift exceeded
                                ///< sdc_drift_tol (silent corruption likely)
+  bool guard_tripped = false;  ///< budget/cancel trip ended the solve early
   int iterations = 0;
   double initial_residual = 0;
   double final_residual = 0;

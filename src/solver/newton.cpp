@@ -57,6 +57,15 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
   // loops) see it without threading it through every signature.
   resilience::InjectorScope injector_scope(opts.fault_injector);
 
+  // Run-to-completion contract: the guard is always constructed (an
+  // unbounded budget never trips, so the plain path is unchanged) and
+  // registered process-wide so exec chunk boundaries, Schwarz subdomain
+  // loops, and the cfd kernels can poll it.
+  const PtcGuardOptions& gopts = opts.guard;
+  guard::SolveGuard sguard(gopts.budget);
+  guard::GuardScope guard_scope(&sguard);
+  guard::ProgressWatchdog stall_watchdog(gopts.watchdog);
+
   PtcResult result;
   std::vector<double> r(n), g0(n), rhs(n), dx(n), scale(nv), work(n), xw(n);
 
@@ -64,6 +73,7 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
   double cfl_relax = 1.0;  ///< CFL backtrack multiplier (1 = no backtrack)
   bool force_refresh = false;
   GmresOptions gmres_active = opts.gmres;
+  gmres_active.guard = &sguard;  ///< charge/trip at iteration boundaries
   if (sdc_on) gmres_active.sdc_drift_tol = sdc.gmres_drift_tol;
   PtcOptions::Krylov krylov_active = opts.krylov;
   int cur_step = 0;
@@ -90,6 +100,13 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
   // records it and lets the step-rejection ladder handle it.
   auto eval_residual = [&](const std::vector<double>& xx,
                            std::vector<double>& rr, const char* what) {
+    // Budget charge + immediate honor: a tripped guard abandons the
+    // evaluation before any work, so cancellation latency is zero extra
+    // units at every residual-class charge point regardless of whether
+    // the problem's kernels have their own poll points. The throw lands
+    // in this driver's own guard-exit handler.
+    if (sguard.charge(guard::kUnitsResidual) != guard::TripReason::kNone)
+      throw guard::CancelledError(sguard.tripped());
     {
       F3D_OBS_SPAN("flux");
       PhaseTimers::Scope scope(result.phases, "flux");
@@ -140,8 +157,26 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
   int start_step = 0;
   double rnorm = 0, r0 = 1.0;
   bool restored = false;
+
+  // Best committed iterate: the state every guard exit restores and
+  // returns. Updated only when x is set to an accepted/verified state, so
+  // for deterministic trips (work budget, armed cancel) the returned
+  // state is bit-identical at any thread count.
+  std::vector<double> x_commit = x;
+  double rnorm_commit = std::numeric_limits<double>::infinity();
+  bool fault_captured = false;
+  bool guard_exit = false;
+
+  // The whole solve runs under the guard-exit handler below: a
+  // CancelledError thrown from any charge or poll point (driver charges,
+  // exec chunk boundaries, Schwarz subdomain loops, cfd kernel entries)
+  // unwinds to it, the best committed state is restored, and the exit is
+  // mapped onto the verdict taxonomy — never propagated to the caller.
+  auto solve_body = [&]() {
   if (resilient && rec.resume && !rec.checkpoint_path.empty()) {
-    if (auto ck = resilience::load_checkpoint(rec.checkpoint_path)) {
+    std::string ck_source;
+    if (auto ck = resilience::load_checkpoint_with_fallback(
+            rec.checkpoint_path, &ck_source)) {
       F3D_CHECK_MSG(static_cast<int>(ck->x.size()) == n,
                     "checkpoint state size mismatch");
       x = ck->x;
@@ -161,7 +196,7 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
       result.resume_step = start_step;
       result.initial_residual = r0;
       result.recovery_log.add(start_step, RecoveryAction::kResume,
-                              "restored from " + rec.checkpoint_path);
+                              "restored from " + ck_source);
       restored = true;
     }
   }
@@ -188,6 +223,11 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
   std::vector<double> x_good;
   double rnorm_good = rnorm;
   if (sdc_on) x_good = x;
+  // Entry state (restored or freshly evaluated) is the first committed
+  // iterate; a trip before any accepted step returns it unchanged.
+  x_commit = x;
+  rnorm_commit = rnorm;
+  if (restored) result.last_checkpoint_step = start_step;
 
   // Jacobian + Schwarz preconditioner built lazily on the first step.
   sparse::Bcsr<double> jac = problem.allocate_jacobian();
@@ -206,9 +246,60 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
     return std::make_unique<SchwarzPreconditioner>(jac, partition, opts.schwarz);
   };
 
+  // Degradation-ladder state: rungs fire once each as budget pressure
+  // crosses their thresholds. The freeze rung overrides the effective
+  // Jacobian-refresh cadence.
+  bool rung_loosen = false, rung_freeze = false, rung_shrink = false;
+  int jacobian_refresh_active = opts.jacobian_refresh;
+
   for (int step = start_step; step < opts.max_steps && rnorm / r0 > opts.rtol;
        ++step) {
     cur_step = step;
+
+    // Guard exit between steps: a trip observed at a charge point that
+    // exits cleanly (Krylov iteration boundary) rather than by throwing.
+    if (sguard.tripped() != guard::TripReason::kNone) {
+      guard_exit = true;
+      break;
+    }
+
+    // Graceful degradation under budget pressure: trade accuracy for
+    // on-time completion instead of overrunning. Each rung is logged; the
+    // final rung — early-return of the best committed state — is the
+    // budget trip itself.
+    if (gopts.degrade.enabled && gopts.budget.bounded()) {
+      const PtcDegradeOptions& dg = gopts.degrade;
+      const double pr = sguard.pressure();
+      if (!rung_loosen && pr >= dg.loosen_at) {
+        rung_loosen = true;
+        ++result.degrade_rungs;
+        gmres_active.rtol =
+            std::min(dg.rtol_max, gmres_active.rtol * dg.rtol_factor);
+        result.recovery_log.add(
+            step, RecoveryAction::kDegradeRung,
+            "loosen linear rtol -> " + std::to_string(gmres_active.rtol));
+      }
+      if (!rung_freeze && pr >= dg.freeze_at) {
+        rung_freeze = true;
+        ++result.degrade_rungs;
+        jacobian_refresh_active = std::numeric_limits<int>::max();
+        result.recovery_log.add(step, RecoveryAction::kDegradeRung,
+                                "freeze jacobian/preconditioner refresh");
+      }
+      if (!rung_shrink && pr >= dg.shrink_at) {
+        rung_shrink = true;
+        ++result.degrade_rungs;
+        gmres_active.restart = std::max(dg.restart_min, gmres_active.restart / 2);
+        gmres_active.max_iters =
+            std::max(dg.krylov_iters_min, gmres_active.max_iters / 2);
+        result.recovery_log.add(
+            step, RecoveryAction::kDegradeRung,
+            "shrink krylov effort: restart -> " +
+                std::to_string(gmres_active.restart) + ", max_iters -> " +
+                std::to_string(gmres_active.max_iters));
+      }
+    }
+
     problem.on_step(step, rnorm / r0);
 
     // SDC site: a silent flip in the committed state vector. Deliberately
@@ -260,6 +351,8 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
     auto attempt_step = [&](double cfl) -> bool {
       // D = diag over vertices of V_i / dt_i; with dt_i = cfl * V_i / sr_i
       // this is sr_i / cfl = V_i / (cfl * scale_i).
+      if (sguard.charge(guard::kUnitsResidual) != guard::TripReason::kNone)
+        throw guard::CancelledError(sguard.tripped());
       problem.timestep_scale(x, scale);
       ++result.function_evaluations;  // spectral radius pass ~ a flux pass
       std::vector<double> vols;
@@ -278,7 +371,10 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
         // Build / refresh the preconditioner from the analytic first-order
         // Jacobian plus the pseudo-time diagonal.
         if (!prec || force_refresh ||
-            (step % std::max(1, opts.jacobian_refresh)) == 0) {
+            (step % std::max(1, jacobian_refresh_active)) == 0) {
+          if (sguard.charge(guard::kUnitsJacobian) !=
+              guard::TripReason::kNone)
+            throw guard::CancelledError(sguard.tripped());
           {
             F3D_OBS_SPAN("jacobian");
             PhaseTimers::Scope scope(result.phases, "jacobian");
@@ -301,6 +397,8 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
           resilience::maybe_flip(resilience::FlipTarget::kMatrix,
                                  jac.val.data(),
                                  static_cast<long long>(jac.val.size()));
+          if (sguard.charge(guard::kUnitsFactor) != guard::TripReason::kNone)
+            throw guard::CancelledError(sguard.tripped());
           F3D_OBS_SPAN("factor");
           PhaseTimers::Scope scope(result.phases, "factor");
           if (!prec) {
@@ -406,6 +504,7 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
             BicgstabOptions bo;
             bo.rtol = gmres_active.rtol;
             bo.max_iters = gmres_active.max_iters;
+            bo.guard = &sguard;
             if (sdc_on) {
               bo.true_residual_every = sdc.bicgstab_true_residual_every;
               bo.sdc_drift_tol = sdc.bicgstab_drift_tol;
@@ -477,6 +576,10 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
         }
         }
         result.phases.add("krylov", krylov_timer.seconds());
+        // Guard trip inside the Krylov solve: abandon the attempt before
+        // the line search touches x. The retry ladder below checks the
+        // trip before treating the false return as a numerical failure.
+        if (sguard.tripped() != guard::TripReason::kNone) return false;
         if (nan_seen) return false;
         if (sdc_on && (abft_failed || krylov_sdc)) {
           detect_sdc(abft_failed
@@ -561,6 +664,16 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
       rec_step.cfl = cfl;
       if (attempt_step(cfl)) break;
 
+      // Guard exits outrank the recovery ladder — and must be checked
+      // before the plain-path abort below, so a budget trip works with
+      // recovery disabled too. x was not touched by the failed attempt
+      // (the trip aborts before the line search), so it still holds the
+      // committed step-entry state.
+      if (sguard.tripped() != guard::TripReason::kNone) {
+        guard_exit = true;
+        break;
+      }
+
       // Plain path only reaches a false return through states it used to
       // tolerate silently; keep the historical abort semantics.
       F3D_NUMERIC_CHECK_MSG(resilient, "psi-NKS diverged (NaN residual)");
@@ -607,6 +720,8 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
                               "forced by step rejection");
     }
 
+    if (guard_exit) break;
+
     rec_step.residual = rnorm;
     result.history.push_back(rec_step);
     ++result.steps;
@@ -640,14 +755,91 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
         ck.injector = opts.fault_injector->state();
       }
       ck.log = result.recovery_log;
-      if (resilience::save_checkpoint(rec.checkpoint_path, ck))
+      if (resilience::save_checkpoint(rec.checkpoint_path, ck)) {
         result.recovery_log.add(step, RecoveryAction::kCheckpointWrite,
                                 rec.checkpoint_path);
+        result.last_checkpoint_step = step + 1;
+      }
+    }
+
+    // The accepted state becomes the best committed iterate every guard
+    // exit restores.
+    x_commit = x;
+    rnorm_commit = rnorm;
+
+    // Progress watchdog over accepted-step residuals: a window that ends
+    // no lower than stall_ratio x where it began is a livelock-style
+    // stall the per-rung watchdogs cannot see (every individual step
+    // looks healthy). Deterministic — no wall clock involved.
+    if (stall_watchdog.observe(rnorm)) {
+      result.watchdog_fired = true;
+      result.recovery_log.add(
+          step, RecoveryAction::kDetectStall,
+          "residual stalled across " +
+              std::to_string(gopts.watchdog.window) + " accepted step(s)");
+      break;
     }
   }
+  };  // solve_body
 
+  try {
+    solve_body();
+  } catch (const guard::CancelledError&) {
+    // Thrown from a charge or poll point anywhere in the stack. The
+    // in-flight attempt is discarded; the best committed iterate is the
+    // contract's return value.
+    x = x_commit;
+    rnorm = rnorm_commit;
+    guard_exit = true;
+  } catch (const NumericalError& e) {
+    if (!gopts.capture_faults) throw;
+    // Opted-in graceful fault capture: an exhausted recovery ladder (or a
+    // plain-path abort) still returns the best committed state, graded,
+    // instead of losing the whole solve.
+    fault_captured = true;
+    x = x_commit;
+    rnorm = rnorm_commit;
+    result.recovery_log.add(cur_step, RecoveryAction::kGuardTrip,
+                            std::string("fault captured: ") + e.what());
+  }
+
+  // Exit taxonomy + quality grade. disarm() first: the grading scan below
+  // may fan out on the exec pool, whose poll points must not cancel the
+  // exit path itself.
+  sguard.disarm();
   result.final_residual = rnorm;
   result.converged = rnorm / r0 <= opts.rtol;
+  result.work_units = sguard.work_units();
+  result.trip = sguard.tripped();
+  result.cancel_latency_units = sguard.latency_units();
+  result.watchdog_fired = result.watchdog_fired || stall_watchdog.fired();
+  if (guard_exit && result.trip != guard::TripReason::kNone)
+    result.recovery_log.add(
+        cur_step, RecoveryAction::kGuardTrip,
+        std::string(guard::trip_reason_name(result.trip)) + " after " +
+            std::to_string(result.work_units) + " work unit(s)");
+
+  if (result.converged)
+    result.verdict = guard::SolveVerdict::kConverged;
+  else if (fault_captured)
+    result.verdict = guard::SolveVerdict::kFaultUnrecoverable;
+  else if (result.watchdog_fired)
+    result.verdict = guard::SolveVerdict::kStagnated;
+  else if (result.trip == guard::TripReason::kCancelled)
+    result.verdict = guard::SolveVerdict::kCancelled;
+  else if (result.trip != guard::TripReason::kNone)
+    result.verdict = guard::SolveVerdict::kDeadline;
+  else
+    result.verdict = guard::SolveVerdict::kMaxIters;
+
+  result.residual_drop_orders =
+      (r0 > 0 && rnorm > 0 && std::isfinite(rnorm))
+          ? std::log10(r0 / rnorm)
+          : 0.0;
+  {
+    F3D_OBS_SPAN("admissibility");
+    result.best_state_admissible = problem.admissible(x);
+  }
   return result;
 }
 
@@ -656,9 +848,17 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
 PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
                     const PtcOptions& opts) {
   PtcResult result;
-  {
+  try {
     obs::Span root("ptc_solve");
     result = ptc_solve_impl(problem, x, opts);
+  } catch (...) {
+    // Abnormal exit (plain-path numerical abort, harness error): the
+    // buffered spans and counters are exactly the postmortem evidence —
+    // flush them before the exception leaves, or the trace dies with the
+    // solve.
+    obs::Registry::global().count("solver.ptc.aborts");
+    obs::flush_env_trace();
+    throw;
   }
   // Fold the solve's tallies into the process-wide registry so trace
   // files and bench reports can embed them next to the span timeline.
@@ -670,6 +870,12 @@ PtcResult ptc_solve(NonlinearProblem& problem, std::vector<double>& x,
   reg.count("solver.krylov.breakdowns", result.krylov_breakdowns);
   reg.count("solver.ptc.sdc_recomputes", result.sdc_recomputes);
   reg.count("solver.ptc.sdc_rollbacks", result.sdc_rollbacks);
+  reg.count(std::string("guard.verdict.") +
+            guard::verdict_name(result.verdict));
+  if (result.degrade_rungs > 0)
+    reg.count("guard.degrade_rungs", result.degrade_rungs);
+  if (result.cancel_latency_units > 0)
+    reg.count("guard.cancel_latency_units", result.cancel_latency_units);
   // Writes the Chrome trace iff the F3D_TRACE environment variable asked
   // for one; a plain set_tracing(true) caller drains the tracer itself.
   obs::flush_env_trace();

@@ -19,6 +19,8 @@
 
 #include "common/timer.hpp"
 
+#include "guard/guard.hpp"
+#include "guard/watchdog.hpp"
 #include "partition/partition.hpp"
 #include "resilience/faults.hpp"
 #include "resilience/recovery.hpp"
@@ -144,6 +146,37 @@ struct PtcSdcOptions {
   int max_recompute = 1;
 };
 
+/// Graceful-degradation ladder: under budget pressure, trade accuracy for
+/// on-time completion instead of overrunning. Rungs fire once each, in
+/// order, as guard::SolveGuard::pressure() crosses their thresholds; the
+/// final rung — early-return the best committed state — is the budget
+/// trip itself. Every firing is logged as RecoveryAction::kDegradeRung.
+struct PtcDegradeOptions {
+  bool enabled = false;
+  double loosen_at = 0.5;   ///< pressure to loosen the linear tolerance at
+  double freeze_at = 0.7;   ///< pressure to stop Jacobian/prec refreshes at
+  double shrink_at = 0.85;  ///< pressure to shrink the Krylov effort at
+  double rtol_factor = 10.0;  ///< linear-rtol multiplier for the loosen rung
+  double rtol_max = 0.3;      ///< cap on the loosened linear rtol
+  int restart_min = 8;        ///< floor for the shrunk GMRES restart
+  int krylov_iters_min = 10;  ///< floor for the shrunk per-solve iterations
+};
+
+/// Run-to-completion contract for one solve: budget + cancellation, the
+/// livelock watchdog, and the degradation policy. Default-constructed =
+/// unbounded, watchdog off, no degradation — byte-for-byte the historical
+/// driver behavior.
+struct PtcGuardOptions {
+  guard::SolveBudget budget;          ///< deadline / work cap / cancel token
+  guard::WatchdogOptions watchdog;    ///< livelock-style stall detection
+  PtcDegradeOptions degrade;          ///< accuracy-for-time ladder
+  /// Catch NumericalError from an exhausted recovery ladder and return the
+  /// best committed state with verdict kFaultUnrecoverable instead of
+  /// propagating. Off by default: plain callers keep the historical
+  /// abort-by-exception semantics.
+  bool capture_faults = false;
+};
+
 struct PtcOptions {
   // Continuation (§2.4.1).
   double cfl0 = 10.0;      ///< initial CFL number
@@ -196,6 +229,10 @@ struct PtcOptions {
   /// Optional fault injector, registered process-wide for the duration of
   /// the solve (resilience test campaigns; see resilience/faults.hpp).
   resilience::FaultInjector* fault_injector = nullptr;
+
+  /// Run-to-completion contract: budget, cancellation, stall watchdog,
+  /// degradation ladder (defaults = unbounded, everything off).
+  PtcGuardOptions guard;
 };
 
 struct PtcStepRecord {
@@ -229,6 +266,20 @@ struct PtcResult {
   int sdc_detections = 0;     ///< guard firings (ABFT / drift / admissibility)
   int sdc_recomputes = 0;     ///< recompute-and-verify rungs taken
   int sdc_rollbacks = 0;      ///< rollbacks to the last verified state
+
+  // Run-to-completion contract (f3d::guard). On any early exit x holds
+  // the best committed iterate — the last accepted pseudo-timestep's
+  // state, bit-identical at any thread count for deterministic trips.
+  guard::SolveVerdict verdict = guard::SolveVerdict::kMaxIters;
+  guard::TripReason trip = guard::TripReason::kNone;
+  long long work_units = 0;           ///< deterministic cost-model total
+  long long cancel_latency_units = 0; ///< units charged after the trip
+  int degrade_rungs = 0;              ///< degradation-ladder rungs fired
+  bool watchdog_fired = false;        ///< livelock-style stall detected
+  // Quality grade of the returned state.
+  double residual_drop_orders = 0;    ///< log10(r0 / final_residual)
+  bool best_state_admissible = true;  ///< admissibility scan of returned x
+  int last_checkpoint_step = -1;      ///< last verified checkpoint (-1: none)
   /// Real wall-clock per phase: "flux" (residual evaluations, including
   /// matrix-free actions and line search), "jacobian" (analytic assembly),
   /// "factor" (preconditioner refactorization), "krylov" (solver

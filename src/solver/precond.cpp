@@ -6,6 +6,7 @@
 
 #include "common/densemat.hpp"
 #include "common/error.hpp"
+#include "guard/guard.hpp"
 #include "obs/obs.hpp"
 #include "resilience/faults.hpp"
 
@@ -261,6 +262,9 @@ void SchwarzPreconditioner::apply(const double* r, double* z) const {
   std::fill(z, z + n_, 0.0);
   std::vector<double> rl, zl;
   for (const auto& sd : subs_) {
+    // Cooperative cancellation boundary: with many subdomains one apply
+    // is a long serial stretch between Krylov-iteration charge points.
+    guard::poll_cancellation();
     const int nl = static_cast<int>(sd.vertices.size());
     rl.resize(static_cast<std::size_t>(nl) * nb_);
     zl.resize(rl.size());

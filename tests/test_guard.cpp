@@ -1,0 +1,454 @@
+// Run-to-completion contract tests (f3d::guard): deterministic work-unit
+// budgets, cooperative cancellation with a bounded and thread-count-
+// independent latency, the wall-clock deadline, the livelock watchdog,
+// the graceful-degradation ladder, fault capture, and the campaign-level
+// budget/cancel integration in par::simulate_campaign.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cfd/problem.hpp"
+#include "common/error.hpp"
+#include "exec/pool.hpp"
+#include "guard/guard.hpp"
+#include "guard/watchdog.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/graph.hpp"
+#include "par/distres.hpp"
+#include "partition/partition.hpp"
+#include "perf/machine.hpp"
+#include "resilience/faults.hpp"
+#include "solver/newton.hpp"
+
+namespace {
+
+using namespace f3d;
+using guard::SolveVerdict;
+using guard::TripReason;
+
+// --- guard primitives -----------------------------------------------------
+
+TEST(SolveGuard, NamesCoverEveryEnumerator) {
+  EXPECT_STREQ(guard::trip_reason_name(TripReason::kNone), "none");
+  EXPECT_STREQ(guard::trip_reason_name(TripReason::kCancelled), "cancelled");
+  EXPECT_STREQ(guard::trip_reason_name(TripReason::kDeadline), "deadline");
+  EXPECT_STREQ(guard::trip_reason_name(TripReason::kWorkExhausted),
+               "work-exhausted");
+  EXPECT_STREQ(guard::verdict_name(SolveVerdict::kConverged), "converged");
+  EXPECT_STREQ(guard::verdict_name(SolveVerdict::kMaxIters), "max-iters");
+  EXPECT_STREQ(guard::verdict_name(SolveVerdict::kStagnated), "stagnated");
+  EXPECT_STREQ(guard::verdict_name(SolveVerdict::kDeadline), "deadline");
+  EXPECT_STREQ(guard::verdict_name(SolveVerdict::kCancelled), "cancelled");
+  EXPECT_STREQ(guard::verdict_name(SolveVerdict::kFaultUnrecoverable),
+               "fault-unrecoverable");
+}
+
+TEST(SolveGuard, UnboundedBudgetNeverTrips) {
+  guard::SolveGuard g({});
+  EXPECT_FALSE(g.budget().bounded());
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(g.charge(guard::kUnitsFactor), TripReason::kNone);
+  EXPECT_EQ(g.work_units(), 1000 * guard::kUnitsFactor);
+  EXPECT_EQ(g.latency_units(), 0);
+  EXPECT_EQ(g.pressure(), 0.0);
+}
+
+TEST(SolveGuard, WorkBudgetTripsAtTheExactUnit) {
+  guard::SolveBudget b;
+  b.max_work_units = 10;
+  guard::SolveGuard g(b);
+  EXPECT_EQ(g.charge(4), TripReason::kNone);  // 4
+  EXPECT_DOUBLE_EQ(g.pressure(), 0.4);
+  EXPECT_EQ(g.charge(4), TripReason::kNone);          // 8
+  EXPECT_EQ(g.charge(4), TripReason::kWorkExhausted);  // 12 >= 10
+  EXPECT_EQ(g.tripped(), TripReason::kWorkExhausted);
+  EXPECT_EQ(g.latency_units(), 0);  // nothing charged after the trip yet
+  // Trips are sticky and latency counts post-trip units.
+  EXPECT_EQ(g.charge(3), TripReason::kWorkExhausted);
+  EXPECT_EQ(g.latency_units(), 3);
+  EXPECT_DOUBLE_EQ(g.pressure(), 1.0);  // clamped
+}
+
+TEST(SolveGuard, ArmedCancelTripsAtTheExactUnit) {
+  guard::CancelToken tok;
+  tok.cancel_at_work(5);
+  guard::SolveBudget b;
+  b.cancel = &tok;
+  guard::SolveGuard g(b);
+  EXPECT_TRUE(b.bounded());
+  EXPECT_EQ(g.charge(2), TripReason::kNone);       // 2
+  EXPECT_EQ(g.charge(2), TripReason::kNone);       // 4
+  EXPECT_EQ(g.charge(2), TripReason::kCancelled);  // 6 >= 5
+  tok.reset();
+  EXPECT_FALSE(tok.requested());
+  EXPECT_EQ(tok.armed_at(), -1);
+  // The guard's trip is sticky even after the token resets.
+  EXPECT_EQ(g.tripped(), TripReason::kCancelled);
+}
+
+TEST(SolveGuard, CancelFlagObservedOnNextCharge) {
+  guard::CancelToken tok;
+  guard::SolveBudget b;
+  b.cancel = &tok;
+  guard::SolveGuard g(b);
+  EXPECT_EQ(g.charge(1), TripReason::kNone);
+  tok.cancel();  // any thread, any time
+  EXPECT_EQ(g.charge(1), TripReason::kCancelled);
+}
+
+TEST(SolveGuard, DeadlineObservedAtClockCadence) {
+  guard::SolveBudget b;
+  b.wall_deadline_s = 1e-9;  // already expired at the first clock read
+  b.check_every = 4;
+  guard::SolveGuard g(b);
+  // The first three unit charges stay under the cadence: no clock read.
+  EXPECT_EQ(g.charge(1), TripReason::kNone);
+  EXPECT_EQ(g.charge(1), TripReason::kNone);
+  EXPECT_EQ(g.charge(1), TripReason::kNone);
+  EXPECT_EQ(g.charge(1), TripReason::kDeadline);  // 4th unit reads the clock
+  EXPECT_EQ(guard::cancel_latency_bound_units(b), 4);
+}
+
+TEST(SolveGuard, PollThrowsUntilDisarmed) {
+  guard::CancelToken tok;
+  guard::SolveBudget b;
+  b.cancel = &tok;
+  guard::SolveGuard g(b);
+  guard::GuardScope scope(&g);
+  ASSERT_EQ(guard::active_guard(), &g);
+  EXPECT_NO_THROW(guard::poll_cancellation());  // not tripped
+  tok.cancel();
+  g.charge(1);
+  EXPECT_TRUE(g.should_abandon());
+  try {
+    guard::poll_cancellation();
+    FAIL() << "poll_cancellation must throw after a trip";
+  } catch (const guard::CancelledError& e) {
+    EXPECT_EQ(e.reason(), TripReason::kCancelled);
+  }
+  // The exit path disarms so it can keep using the pool.
+  g.disarm();
+  EXPECT_FALSE(g.should_abandon());
+  EXPECT_NO_THROW(guard::poll_cancellation());
+  EXPECT_EQ(g.tripped(), TripReason::kCancelled);  // trip state survives
+}
+
+TEST(SolveGuard, ScopeRestoresThePreviousGuard) {
+  ASSERT_EQ(guard::active_guard(), nullptr);
+  guard::SolveGuard outer({});
+  {
+    guard::GuardScope a(&outer);
+    EXPECT_EQ(guard::active_guard(), &outer);
+    guard::SolveGuard inner({});
+    {
+      guard::GuardScope bscope(&inner);
+      EXPECT_EQ(guard::active_guard(), &inner);
+    }
+    EXPECT_EQ(guard::active_guard(), &outer);
+  }
+  EXPECT_EQ(guard::active_guard(), nullptr);
+  EXPECT_NO_THROW(guard::poll_cancellation());  // no guard: no-op
+}
+
+// --- progress watchdog ----------------------------------------------------
+
+TEST(ProgressWatchdog, CleanConvergenceNeverFires) {
+  guard::WatchdogOptions o;
+  o.enabled = true;
+  o.window = 6;
+  guard::ProgressWatchdog wd(o);
+  double r = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(wd.observe(r)) << "step " << i;
+    r *= 0.9;  // steady convergence
+  }
+  EXPECT_FALSE(wd.fired());
+}
+
+TEST(ProgressWatchdog, FlatResidualFiresOncePastTheWindow) {
+  guard::WatchdogOptions o;
+  o.enabled = true;
+  o.window = 6;
+  guard::ProgressWatchdog wd(o);
+  int fired_at = -1;
+  for (int i = 0; i < 20 && fired_at < 0; ++i)
+    if (wd.observe(1e-13)) fired_at = i;
+  EXPECT_EQ(fired_at, o.window);  // earliest possible firing point
+  EXPECT_TRUE(wd.fired());
+  EXPECT_FALSE(wd.observe(1e-13));  // fires at most once
+}
+
+TEST(ProgressWatchdog, DisabledObservesNothing) {
+  guard::ProgressWatchdog wd({});
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(wd.observe(1.0));
+  EXPECT_FALSE(wd.fired());
+}
+
+TEST(ProgressWatchdog, SlowPlateauToleratedWithinRatio) {
+  guard::WatchdogOptions o;
+  o.enabled = true;
+  o.window = 4;
+  o.stall_ratio = 0.9;  // demand 10% improvement per window
+  guard::ProgressWatchdog wd(o);
+  double r = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_FALSE(wd.observe(r));
+    r *= 0.96;  // 15% improvement per 4-step window: above the bar
+  }
+}
+
+// --- guarded psi-NKS solves -----------------------------------------------
+
+solver::PtcOptions base_options() {
+  solver::PtcOptions o;
+  o.cfl0 = 20.0;
+  o.max_steps = 40;
+  o.rtol = 1e-8;
+  o.schwarz.fill_level = 1;
+  o.num_subdomains = 2;
+  return o;
+}
+
+solver::PtcResult run_wing(const solver::PtcOptions& opts,
+                           std::vector<double>* x_out = nullptr,
+                           resilience::FaultInjector* inj = nullptr) {
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = 6, .ny = 3, .nz = 3});
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  solver::PtcOptions o = opts;
+  o.fault_injector = inj;
+  auto res = solver::ptc_solve(prob, x, o);
+  if (x_out != nullptr) *x_out = x;
+  return res;
+}
+
+TEST(GuardedSolve, UnboundedGuardKeepsHistoricalBehavior) {
+  auto res = run_wing(base_options());
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.verdict, SolveVerdict::kConverged);
+  EXPECT_EQ(res.trip, TripReason::kNone);
+  EXPECT_GT(res.work_units, 0);  // the cost model still accumulates
+  EXPECT_EQ(res.cancel_latency_units, 0);
+  EXPECT_EQ(res.degrade_rungs, 0);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_GE(res.residual_drop_orders, 8.0);  // rtol 1e-8 was met
+  EXPECT_TRUE(res.best_state_admissible);
+}
+
+TEST(GuardedSolve, WorkBudgetReturnsBestCommittedState) {
+  const auto full = run_wing(base_options());
+  ASSERT_TRUE(full.converged);
+  ASSERT_GT(full.work_units, 10);
+
+  solver::PtcOptions o = base_options();
+  o.guard.budget.max_work_units = full.work_units / 2;
+  std::vector<double> x;
+  const auto res = run_wing(o, &x);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.verdict, SolveVerdict::kDeadline);
+  EXPECT_EQ(res.trip, TripReason::kWorkExhausted);
+  EXPECT_LT(res.steps, full.steps);
+  // The trip is honored within the documented latency bound.
+  EXPECT_LE(res.cancel_latency_units,
+            guard::cancel_latency_bound_units(o.guard.budget));
+  // The returned iterate is the last committed state: finite, admissible,
+  // and graded (partial residual progress is reported, not hidden).
+  for (double v : x) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(res.best_state_admissible);
+  EXPECT_GE(res.residual_drop_orders, 0.0);
+  EXPECT_LT(res.residual_drop_orders, full.residual_drop_orders);
+  EXPECT_GT(res.recovery_log.count(resilience::RecoveryAction::kGuardTrip), 0);
+}
+
+TEST(GuardedSolve, ExpiredWallDeadlineStillReturnsCommittedState) {
+  solver::PtcOptions o = base_options();
+  o.guard.budget.wall_deadline_s = 1e-9;  // expired before the first step
+  std::vector<double> x;
+  const auto res = run_wing(o, &x);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.verdict, SolveVerdict::kDeadline);
+  EXPECT_EQ(res.trip, TripReason::kDeadline);
+  for (double v : x) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(res.final_residual));
+}
+
+// The satellite guarantee: a cancel armed mid-solve (inside the Krylov
+// iteration stream) is honored within the documented work-unit bound, and
+// the returned state is bit-identical at 1, 2 and 4 threads — work units
+// are charged only at thread-count-independent points.
+TEST(GuardedSolve, CancellationLatencyBoundedAndStateThreadInvariant) {
+  const auto full = run_wing(base_options());
+  ASSERT_GT(full.work_units, 20);
+  const long long arm = full.work_units / 2;  // lands mid-solve
+
+  guard::CancelToken tok;
+  std::vector<std::vector<double>> states;
+  std::vector<solver::PtcResult> results;
+  for (int nt : {1, 2, 4}) {
+    exec::ThreadScope threads(nt);
+    tok.reset();
+    tok.cancel_at_work(arm);
+    solver::PtcOptions o = base_options();
+    o.guard.budget.cancel = &tok;
+    std::vector<double> x;
+    results.push_back(run_wing(o, &x));
+    states.push_back(std::move(x));
+    const auto& res = results.back();
+    EXPECT_EQ(res.verdict, SolveVerdict::kCancelled) << nt << " threads";
+    EXPECT_EQ(res.trip, TripReason::kCancelled) << nt << " threads";
+    EXPECT_FALSE(res.converged);
+    EXPECT_GE(res.work_units, arm);
+    EXPECT_LE(res.cancel_latency_units,
+              guard::cancel_latency_bound_units(o.guard.budget))
+        << nt << " threads";
+  }
+  // Deterministic trip: identical unit counts and bitwise-identical
+  // returned state at every thread count.
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_EQ(results[i].work_units, results[0].work_units);
+    EXPECT_EQ(results[i].steps, results[0].steps);
+    EXPECT_EQ(results[i].final_residual, results[0].final_residual);
+    ASSERT_EQ(states[i].size(), states[0].size());
+    EXPECT_EQ(0, std::memcmp(states[i].data(), states[0].data(),
+                             states[0].size() * sizeof(double)))
+        << "state diverged between thread counts";
+  }
+}
+
+TEST(GuardedSolve, WatchdogQuietOnCleanConvergence) {
+  solver::PtcOptions o = base_options();
+  o.guard.watchdog.enabled = true;
+  o.guard.watchdog.window = 6;
+  const auto res = run_wing(o);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.verdict, SolveVerdict::kConverged);
+  EXPECT_FALSE(res.watchdog_fired);  // zero false positives on clean runs
+}
+
+TEST(GuardedSolve, WatchdogDetectsResidualFloorStall) {
+  solver::PtcOptions o = base_options();
+  o.rtol = 1e-300;  // unreachable: the solve plateaus at machine precision
+  o.max_steps = 80;
+  o.guard.watchdog.enabled = true;
+  o.guard.watchdog.window = 10;
+  o.guard.watchdog.stall_ratio = 0.9;
+  const auto res = run_wing(o);
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.watchdog_fired);
+  EXPECT_EQ(res.verdict, SolveVerdict::kStagnated);
+  EXPECT_LT(res.steps, o.max_steps);  // fired before burning the step cap
+  EXPECT_GT(res.recovery_log.count(resilience::RecoveryAction::kDetectStall),
+            0);
+}
+
+TEST(GuardedSolve, DegradationLadderFiresUnderBudgetPressure) {
+  const auto full = run_wing(base_options());
+  ASSERT_TRUE(full.converged);
+
+  solver::PtcOptions o = base_options();
+  o.guard.budget.max_work_units = full.work_units;  // pressure reaches 1.0
+  o.guard.degrade.enabled = true;
+  const auto res = run_wing(o);
+  EXPECT_GE(res.degrade_rungs, 1);
+  EXPECT_GT(res.recovery_log.count(resilience::RecoveryAction::kDegradeRung),
+            0);
+  // Whatever the outcome, the answer is a graded committed state.
+  EXPECT_TRUE(res.best_state_admissible);
+}
+
+TEST(GuardedSolve, CaptureFaultsMapsAbortToVerdict) {
+  auto poisoned = [] {
+    resilience::FaultInjector inj(4);
+    resilience::FaultPlan p;
+    p.fire_every = 1;
+    p.skip_first = 30;  // let some steps commit first
+    inj.arm(resilience::FaultSite::kResidual, p);
+    return inj;
+  };
+
+  // Historical plain-path semantics: abort by exception.
+  {
+    auto inj = poisoned();
+    EXPECT_THROW(run_wing(base_options(), nullptr, &inj), NumericalError);
+  }
+  // Captured: same fault, structured verdict and the best committed state.
+  {
+    auto inj = poisoned();
+    solver::PtcOptions o = base_options();
+    o.guard.capture_faults = true;
+    std::vector<double> x;
+    const auto res = run_wing(o, &x, &inj);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.verdict, SolveVerdict::kFaultUnrecoverable);
+    for (double v : x) ASSERT_TRUE(std::isfinite(v));
+    EXPECT_TRUE(std::isfinite(res.final_residual));
+    EXPECT_GT(res.recovery_log.count(resilience::RecoveryAction::kGuardTrip),
+              0);
+  }
+}
+
+// --- campaign-level budget and cancel -------------------------------------
+
+struct CampaignRig {
+  mesh::Graph g;
+  par::CampaignDomain domain;
+  par::WorkCoefficients work;
+  perf::MachineModel machine = perf::asci_red();
+  std::vector<par::StepCounts> steps;
+
+  CampaignRig() : steps(20) {
+    auto m = mesh::generate_wing_mesh(
+        mesh::WingMeshConfig{.nx = 12, .ny = 7, .nz = 7});
+    g = mesh::build_graph(m.num_vertices(), m.edges());
+    domain = par::make_domain(g, part::kway_grow(g, 8));
+    work.sparse_bytes_per_vertex_it = 1200;
+    work.sparse_flops_per_vertex_it = 300;
+  }
+
+  par::CampaignResult run(double budget_s, guard::CancelToken* cancel) {
+    resilience::FaultInjector inj(7);  // no armed sites: a clean campaign
+    par::CampaignOptions o;
+    o.injector = &inj;
+    o.budget_modeled_s = budget_s;
+    o.cancel = cancel;
+    return par::simulate_campaign(machine, domain, work, steps, o);
+  }
+};
+
+TEST(GuardCampaign, ModeledBudgetTripsDeterministically) {
+  CampaignRig rig;
+  const auto full = rig.run(0, nullptr);
+  ASSERT_TRUE(full.completed);
+  EXPECT_EQ(full.verdict, SolveVerdict::kConverged);
+  EXPECT_EQ(full.steps_executed, 20);
+
+  const double budget = full.total_seconds() / 2;
+  const auto a = rig.run(budget, nullptr);
+  EXPECT_FALSE(a.completed);
+  EXPECT_EQ(a.verdict, SolveVerdict::kDeadline);
+  EXPECT_GT(a.steps_executed, 0);
+  EXPECT_LT(a.steps_executed, 20);
+  // The budget is on modeled seconds: the trip step is bit-reproducible.
+  const auto b = rig.run(budget, nullptr);
+  EXPECT_EQ(a.steps_executed, b.steps_executed);
+  EXPECT_EQ(a.total_seconds(), b.total_seconds());
+}
+
+TEST(GuardCampaign, CancelTokenHonoredAtStepBoundary) {
+  CampaignRig rig;
+  guard::CancelToken tok;
+  tok.cancel();
+  const auto res = rig.run(0, &tok);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.verdict, SolveVerdict::kCancelled);
+  EXPECT_EQ(res.steps_executed, 0);  // honored before any modeled step
+}
+
+}  // namespace

@@ -694,6 +694,58 @@ TEST(Checkpoint, CorruptedFileOnDiskIsRejected) {
   std::remove(path.c_str());
 }
 
+// Torn-write restore: save two generations, tear the primary (truncate
+// mid-payload), and require the fallback loader to reject the torn file
+// and restore the previous verified generation kept by save_checkpoint.
+TEST(Checkpoint, TornPrimaryFallsBackToPreviousGeneration) {
+  const std::string path = temp_path("f3d_ck_torn.bin");
+  const std::string prev = path + ".prev";
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+
+  PtcCheckpoint gen1;
+  gen1.step = 5;
+  gen1.x = {1.0, 2.0, 3.0};
+  gen1.rnorm = 1e-3;
+  PtcCheckpoint gen2;
+  gen2.step = 9;
+  gen2.x = {4.0, 5.0, 6.0};
+  gen2.rnorm = 1e-5;
+  ASSERT_TRUE(save_checkpoint(path, gen1));
+  ASSERT_TRUE(save_checkpoint(path, gen2));  // rotates gen1 to .prev
+
+  // Intact primary wins; no fallback.
+  std::string from;
+  auto intact = load_checkpoint_with_fallback(path, &from);
+  ASSERT_TRUE(intact.has_value());
+  EXPECT_EQ(intact->step, 9);
+  EXPECT_EQ(from, path);
+
+  // Tear the primary: truncate it mid-payload, as a crash or full disk
+  // that bypassed the atomic-rename protocol would.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  ASSERT_FALSE(load_checkpoint(path).has_value());
+
+  auto back = load_checkpoint_with_fallback(path, &from);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->step, 5);  // the previous verified generation
+  ASSERT_EQ(back->x.size(), 3u);
+  EXPECT_EQ(back->x[0], 1.0);
+  EXPECT_EQ(back->rnorm, 1e-3);
+  EXPECT_EQ(from, prev);
+
+  // Both generations gone: restore reports nothing to resume from.
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+  EXPECT_FALSE(load_checkpoint_with_fallback(path).has_value());
+}
+
 // Kill a run mid-solve, resume from its checkpoint, and require the
 // resumed trajectory to be bit-identical to an uninterrupted run — with a
 // live fault injector, so the injector stream restore is exercised too.
