@@ -21,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "common/options.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "exec/pool.hpp"
@@ -150,6 +151,28 @@ int main(int argc, char** argv) {
       max_threads, reps, [&] { dval = exec::dot(n, x.data(), y.data()); },
       &dval, 1);
 
+  // --- vectorization A/B (same binary, runtime toggle) ----------------
+  // The thread sweeps above ran in the build's default SIMD state; here
+  // the two hot kernels are re-timed at max threads with explicit SIMD
+  // off and on, isolating the vector-width effect from thread scaling.
+  auto ab_time = [&](bool simd_on, auto&& run) {
+    simd::EnabledScope scope(simd_on);
+    exec::ThreadScope threads(max_threads);
+    run();  // warm-up
+    double best = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer t;
+      run();
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+  const double flux_scalar = ab_time(false, [&] { disc.residual(q, r); });
+  const double flux_simd = ab_time(true, [&] { disc.residual(q, r); });
+  const double spmv_scalar =
+      ab_time(false, [&] { jac.spmv(x.data(), y.data()); });
+  const double spmv_simd = ab_time(true, [&] { jac.spmv(x.data(), y.data()); });
+
   // --- report ---------------------------------------------------------
   Table t({"Kernel", "t(1)", "t(" + std::to_string(max_threads) + ")",
            "speedup", "bit-identical"});
@@ -204,6 +227,20 @@ int main(int argc, char** argv) {
       .set("ilu0_trisolve", to_json(tri))
       .set("dot", to_json(dot));
   root.set("kernels", std::move(kernels));
+  auto simd_ab = benchutil::Json::object();
+  simd_ab.set("simd_compiled", simd::compiled())
+      .set("threads", max_threads)
+      .set("flux_scalar_seconds", flux_scalar)
+      .set("flux_simd_seconds", flux_simd)
+      .set("flux_simd_speedup", flux_simd > 0 ? flux_scalar / flux_simd : 1.0)
+      .set("spmv_scalar_seconds", spmv_scalar)
+      .set("spmv_simd_seconds", spmv_simd)
+      .set("spmv_simd_speedup", spmv_simd > 0 ? spmv_scalar / spmv_simd : 1.0);
+  root.set("simd_ab", std::move(simd_ab));
+  std::printf("SIMD A/B at %d thread(s): flux %.2fx, SpMV %.2fx (%s)\n",
+              max_threads, flux_simd > 0 ? flux_scalar / flux_simd : 1.0,
+              spmv_simd > 0 ? spmv_scalar / spmv_simd : 1.0,
+              simd::isa_name());
   benchutil::write_json(out_path, root);
   std::printf("wrote %s\n", out_path.c_str());
 

@@ -5,6 +5,7 @@
 
 #include "cfd/problem.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "mesh/ordering.hpp"
 #include "obs/trace.hpp"
@@ -55,6 +56,9 @@ par::WorkCoefficients calibrate_work(const cfd::EulerDiscretization& disc,
   w.sparse_bytes_per_vertex_it = factor_bytes + vector_bytes;
   w.sparse_flops_per_vertex_it =
       2.0 * blocks_per_vertex * fill_factor * w.nb * w.nb + 8.0 * w.nb;
+  // Single-precision runs ship float halos: half the ghost-exchange
+  // payload per scatter (the beta term of the comm model).
+  w.halo_scalar_bytes = single_precision ? 4.0 : 8.0;
   return w;
 }
 
@@ -166,14 +170,24 @@ std::string experiment_from_path(const std::string& path) {
 }  // namespace
 
 void write_json(const std::string& path, const Json& v) {
-  const Json* out = &v;
-  Json enveloped;
-  if (!obs::is_bench_report(v)) {
-    enveloped = obs::make_bench_report(experiment_from_path(path), v);
-    out = &enveloped;
+  Json out = obs::is_bench_report(v)
+                 ? v
+                 : obs::make_bench_report(experiment_from_path(path), v);
+  // Every artifact records the host ISA the numbers were produced on —
+  // a SIMD A/B ratio is meaningless without the vector width behind it.
+  const Json* meta = out.find("meta");
+  if (meta != nullptr && meta->find("host_isa") == nullptr) {
+    Json isa = Json::object();
+    isa.set("isa", simd::isa_name())
+        .set("arch", simd::target_arch())
+        .set("double_lanes", simd::double_lanes())
+        .set("simd_compiled", simd::compiled())
+        .set("simd_enabled", simd::enabled());
+    Json meta2 = *meta;
+    meta2.set("host_isa", std::move(isa));
+    out.set("meta", std::move(meta2));
   }
-  F3D_CHECK_MSG(obs::write_json_file(path, *out),
-                "cannot write " + path);
+  F3D_CHECK_MSG(obs::write_json_file(path, out), "cannot write " + path);
 }
 
 }  // namespace f3d::benchutil

@@ -56,6 +56,7 @@ def check_bench_report(path, errors):
                       f"expected {BENCH_SCHEMA!r}")
     if not isinstance(meta.get("experiment"), str) or not meta["experiment"]:
         errors.append(f"{path}: meta.experiment must be a non-empty string")
+    check_host_isa(path, meta, errors)
     if "series" not in doc:
         errors.append(f"{path}: missing series member")
         return
@@ -63,6 +64,85 @@ def check_bench_report(path, errors):
         check_failslow_series(path, doc["series"], errors)
     if meta.get("experiment") == "deadline":
         check_deadline_series(path, doc["series"], errors)
+    if meta.get("experiment") == "simd":
+        check_simd_series(path, doc["series"], errors)
+
+
+def check_host_isa(path, meta, errors):
+    """Every artifact must say what vector hardware produced it: a SIMD
+    or precision ratio is not interpretable without the host ISA."""
+    isa = meta.get("host_isa")
+    if not isinstance(isa, dict):
+        errors.append(f"{path}: meta.host_isa missing (regenerate with a "
+                      "current bench binary)")
+        return
+    if not isinstance(isa.get("isa"), str) or not isa["isa"]:
+        errors.append(f"{path}: meta.host_isa.isa must be a non-empty string")
+    if not isinstance(isa.get("arch"), str) or not isa["arch"]:
+        errors.append(f"{path}: meta.host_isa.arch must be a non-empty string")
+    if not isinstance(isa.get("double_lanes"), int) or isa["double_lanes"] < 1:
+        errors.append(f"{path}: meta.host_isa.double_lanes missing or < 1")
+    if not isinstance(isa.get("simd_compiled"), bool):
+        errors.append(f"{path}: meta.host_isa.simd_compiled must be a bool")
+
+
+SIMD_KERNELS = ("flux_residual", "block_spmv", "ilu0_trisolve", "full_solve")
+SIMD_KERNEL_KEYS = (
+    "scalar_double_seconds", "simd_double_seconds", "simd_mixed_seconds",
+    "speedup_simd_double", "speedup_simd_mixed",
+)
+
+
+def check_simd_series(path, series, errors):
+    """SIMD/mixed-precision A/B gates re-checked from the committed
+    artifact: the three-way comparison must be present for every hot
+    kernel, the mixed solve must reach the double solve's tolerance, and
+    the speedup gate must either be met or honestly annotated next to the
+    modeled ratios."""
+    if not isinstance(series, dict):
+        errors.append(f"{path}: simd series must be an object")
+        return
+    configs = series.get("configs")
+    if configs != ["scalar-double", "simd-double", "simd-mixed"]:
+        errors.append(f"{path}: configs must list the three-way A/B "
+                      f"(got {configs!r})")
+    kernels = series.get("kernels")
+    if not isinstance(kernels, dict):
+        errors.append(f"{path}: kernels object missing")
+        kernels = {}
+    for name in SIMD_KERNELS:
+        cell = kernels.get(name)
+        missing = [k for k in SIMD_KERNEL_KEYS
+                   if not isinstance(cell, dict) or k not in cell]
+        if missing:
+            errors.append(f"{path}: kernels.{name} missing "
+                          f"{', '.join(missing)}")
+    model = series.get("model")
+    if not isinstance(model, dict) or not isinstance(
+            model.get("traffic_model_precision_bound"), (int, float)):
+        errors.append(f"{path}: model.traffic_model_precision_bound missing "
+                      "- the measured ratios need the modeled expectation "
+                      "beside them")
+    solve = series.get("mixed_solve")
+    if not isinstance(solve, dict) or solve.get("same_tolerance") is not True:
+        errors.append(f"{path}: mixed_solve.same_tolerance must be true - "
+                      "float storage may not change what the solver "
+                      "converges to")
+    gate = series.get("gate_speedup")
+    if not isinstance(gate, (int, float)) or gate < 1.3:
+        errors.append(f"{path}: gate_speedup missing or < 1.3")
+    if series.get("meets_gate") is True:
+        for name in ("flux_residual", "block_spmv"):
+            cell = kernels.get(name, {})
+            sp = cell.get("speedup_simd_mixed") if isinstance(cell, dict) else None
+            if not isinstance(sp, (int, float)) or (
+                    isinstance(gate, (int, float)) and sp < gate):
+                errors.append(f"{path}: meets_gate claims {name} >= "
+                              f"{gate!r} but speedup_simd_mixed is {sp!r}")
+    elif not (isinstance(series.get("gate_note"), str)
+              and series["gate_note"]):
+        errors.append(f"{path}: gate not met and no gate_note - a miss must "
+                      "be honestly annotated (see EXPERIMENTS.md)")
 
 
 FAILSLOW_CELL_KEYS = (

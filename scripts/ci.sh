@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Full CI gate in one command:
-#   1. release build + complete test suite, then the sdc-labelled subset
-#      on its own (ABFT guards, bit-flip injection, Json/checkpoint
+#   1. release build + complete test suite, then the same suite against
+#      the scalar SIMD fallback (F3D_SIMD=OFF), then the sdc-labelled
+#      subset on its own (ABFT guards, bit-flip injection, Json/checkpoint
 #      hardening) and the failslow-labelled subset (straggler injection,
 #      outlier detector, mitigation ladder) so each defense layer's
 #      regressions are visible as their own stage
 #   2. thread-scaling bench of the exec-layer kernels (writes
 #      BENCH_threading.json; also re-verifies bit-identity across thread
-#      counts and exits nonzero on any mismatch), then the SDC injection
+#      counts and exits nonzero on any mismatch), then the SIMD +
+#      mixed-precision three-way A/B (writes BENCH_simd.json; exits
+#      nonzero when the mixed solve misses the double solve's
+#      tolerance), then the SDC injection
 #      campaign (writes BENCH_sdc.json; exits nonzero when exponent-flip
 #      detection coverage drops below 90%, a clean run false-positives,
 #      or guard overhead exceeds 10%), then the fail-slow mitigation
@@ -25,8 +29,8 @@
 #      the markdown must have no dead relative links
 #   4. ASan+UBSan build + the resilience-labelled tests (the fault
 #      injection / recovery / checkpoint / distributed-campaign paths,
-#      where memory bugs would hide behind error handling) + the sdc-
-#      and failslow-labelled tests under the same sanitizers
+#      where memory bugs would hide behind error handling) + the sdc-,
+#      failslow- and simd-labelled tests under the same sanitizers
 #   5. TSan build + the threaded-labelled tests (the exec pool, colored
 #      scatters, level-scheduled solves) with a 4-thread pool
 #
@@ -48,6 +52,15 @@ cmake --preset release
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
+# Scalar-fallback lane: the same suite must pass with the explicit SIMD
+# kernels compiled out (F3D_SIMD=OFF) — the portable configuration every
+# non-x86 or older-compiler build lands on, and the "scalar-double" leg
+# of the bench_simd A/B.
+echo "=== scalar-fallback build (F3D_SIMD=OFF) + full test suite ==="
+cmake --preset release-scalar
+cmake --build --preset release-scalar -j "$JOBS"
+ctest --preset release-scalar -j "$JOBS"
+
 echo "=== sdc-labelled tests (release) ==="
 ctest --preset release-sdc -j "$JOBS"
 
@@ -64,6 +77,9 @@ ctest --preset release-guard -j "$JOBS" --timeout 120
 
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
+
+echo "=== SIMD + mixed-precision A/B (BENCH_simd.json) ==="
+./build/bench/bench_simd -vertices 8000 -reps 3 -solve-steps 6 -out BENCH_simd.json
 
 echo "=== SDC injection campaign (BENCH_sdc.json) ==="
 ./build/bench/bench_sdc -out BENCH_sdc.json
@@ -84,6 +100,11 @@ cmake --build --preset asan -j "$JOBS"
 ctest --preset asan-resilience -j "$JOBS"
 ctest --preset asan-sdc -j "$JOBS"
 ctest --preset asan-failslow -j "$JOBS"
+
+# UBSan over the explicit SIMD kernels: the memcpy-based pack loads and
+# the float promote paths must be alignment- and aliasing-clean.
+echo "=== simd-labelled tests (ASan+UBSan) ==="
+ctest --preset asan-simd -j "$JOBS"
 
 echo "=== tsan build + threaded-labelled tests ==="
 cmake --preset tsan

@@ -80,8 +80,11 @@ public:
   /// (allocated by allocate_jacobian). Always interlaced block layout.
   void jacobian(const FlowField& q, sparse::Bcsr<double>& jac) const;
 
-  /// Green-Gauss gradients: grad[(v*nb + c)*3 + d] = d q_c / d x_d at
-  /// vertex v. Exposed for tests.
+  /// Green-Gauss gradients in the SoA-blocked layout:
+  /// grad[(v*3 + d)*nb + c] = d q_c / d x_d at vertex v — the nb
+  /// components of one direction are contiguous, which is the shape the
+  /// SIMD reconstruction wants (one pack load per direction at nb == 4).
+  /// Exposed for tests.
   void gradients(const FlowField& q, std::vector<double>& grad) const;
 
   /// Venkatakrishnan limiter values per (vertex, component) given the
@@ -101,10 +104,22 @@ private:
   mesh::EdgeColoring coloring_;
   double qinf_[kMaxComponents];
 
-  void residual_impl(const FlowField& q, std::vector<double>& r) const;
-  void interface_states(const FlowField& q, const std::vector<double>& grad,
-                        const std::vector<double>& phi, int i, int j,
-                        double* ql, double* qr) const;
+  // The second-order path is templated on the reconstruction-operand
+  // storage scalar GS (double, or float when
+  // config().reco_single_precision): gradients and limiter values are
+  // *stored* as GS and promoted to double on load, so the flux
+  // arithmetic itself never narrows (definitions in euler.cpp).
+  template <class GS>
+  void residual_impl_t(const FlowField& q, std::vector<double>& r) const;
+  template <class GS>
+  void gradients_t(const FlowField& q, std::vector<GS>& grad) const;
+  template <class GS>
+  void limiters_t(const FlowField& q, const std::vector<GS>& grad,
+                  std::vector<GS>& phi) const;
+  template <class GS>
+  void interface_states_t(const FlowField& q, const std::vector<GS>& grad,
+                          const std::vector<GS>& phi, int i, int j,
+                          double* ql, double* qr) const;
 };
 
 }  // namespace f3d::cfd

@@ -37,6 +37,11 @@ struct FlowConfig {
   int order = 2;            ///< spatial order of the flux (1 or 2)
   double venkat_k = 5.0;    ///< Venkatakrishnan limiter strength
   sparse::FieldLayout layout = sparse::FieldLayout::kInterlaced;
+  /// Store the second-order reconstruction operands (gradients + limiter
+  /// values) in float. Arithmetic stays double (promote-on-load, the
+  /// Table 2 storage/accumulate split); halves reconstruction memory
+  /// traffic at the cost of float rounding in the stored operands.
+  bool reco_single_precision = false;
 
   [[nodiscard]] int nb() const { return num_components(model); }
 };

@@ -6,14 +6,41 @@
 // straightforward register-friendly triple loop.
 
 #include <cstddef>
+#include <type_traits>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace f3d::dense {
+
+namespace detail {
+// The gemv kernels take a one-pack fast path for the incompressible
+// block size (nb == 4 — one full f3d::simd::Vd row) when the SIMD
+// dispatch is on and the accumulate type is double. The pack dot uses the
+// fixed pairwise hsum, so it rounds differently from the sequential
+// scalar loop but identically everywhere it is called — both BlockIlu
+// trisolve variants (serial reference and level-scheduled) funnel through
+// here, which keeps their bitwise equivalence intact per configuration.
+template <class TA, class TX, class TY>
+inline constexpr bool kGemvSimdEligible =
+    std::is_same_v<TX, double> && std::is_same_v<TY, double> &&
+    (std::is_same_v<TA, double> || std::is_same_v<TA, float>);
+}  // namespace detail
 
 /// y += A * x for a row-major nb x nb block.
 template <class TA, class TX, class TY>
 inline void gemv_acc(int nb, const TA* a, const TX* x, TY* y) {
+  if constexpr (detail::kGemvSimdEligible<TA, TX, TY>) {
+    if (nb == simd::kDoubleLanes && simd::enabled()) {
+      const simd::Vd xv = simd::Vd::loadu(x);
+      for (int i = 0; i < simd::kDoubleLanes; ++i)
+        y[i] += (simd::Vd::loadu(a + static_cast<std::size_t>(i) *
+                                         simd::kDoubleLanes) *
+                 xv)
+                    .hsum();
+      return;
+    }
+  }
   for (int i = 0; i < nb; ++i) {
     TY s = 0;
     const TA* row = a + static_cast<std::size_t>(i) * nb;
@@ -25,6 +52,17 @@ inline void gemv_acc(int nb, const TA* a, const TX* x, TY* y) {
 /// y -= A * x for a row-major nb x nb block.
 template <class TA, class TX, class TY>
 inline void gemv_sub(int nb, const TA* a, const TX* x, TY* y) {
+  if constexpr (detail::kGemvSimdEligible<TA, TX, TY>) {
+    if (nb == simd::kDoubleLanes && simd::enabled()) {
+      const simd::Vd xv = simd::Vd::loadu(x);
+      for (int i = 0; i < simd::kDoubleLanes; ++i)
+        y[i] -= (simd::Vd::loadu(a + static_cast<std::size_t>(i) *
+                                         simd::kDoubleLanes) *
+                 xv)
+                    .hsum();
+      return;
+    }
+  }
   for (int i = 0; i < nb; ++i) {
     TY s = 0;
     const TA* row = a + static_cast<std::size_t>(i) * nb;

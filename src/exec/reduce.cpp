@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "exec/pool.hpp"
 
 namespace f3d::exec {
@@ -44,7 +45,24 @@ double blocked_reduce(std::int64_t n, const BlockSum& block_sum) {
 
 }  // namespace
 
+// The SIMD block sums strip-mine each fixed 4096-element block into
+// 4-lane packs with a fixed pairwise lane combine, then an in-order
+// scalar tail. Block boundaries are data-position based, so like the
+// scalar path the result is bit-identical at any thread count; rounding
+// differs only between the scalar and SIMD *configurations*.
+
 double dot(std::int64_t n, const double* x, const double* y) {
+  if (simd::enabled()) {
+    return blocked_reduce(n, [&](std::int64_t lo, std::int64_t hi) {
+      simd::Vd acc = simd::Vd::zero();
+      std::int64_t i = lo;
+      for (; i + simd::kDoubleLanes <= hi; i += simd::kDoubleLanes)
+        acc += simd::Vd::loadu(x + i) * simd::Vd::loadu(y + i);
+      double s = acc.hsum();
+      for (; i < hi; ++i) s += x[i] * y[i];
+      return s;
+    });
+  }
   return blocked_reduce(n, [&](std::int64_t lo, std::int64_t hi) {
     double s = 0;
     for (std::int64_t i = lo; i < hi; ++i) s += x[i] * y[i];
@@ -53,6 +71,17 @@ double dot(std::int64_t n, const double* x, const double* y) {
 }
 
 double sum(std::int64_t n, const double* x) {
+  if (simd::enabled()) {
+    return blocked_reduce(n, [&](std::int64_t lo, std::int64_t hi) {
+      simd::Vd acc = simd::Vd::zero();
+      std::int64_t i = lo;
+      for (; i + simd::kDoubleLanes <= hi; i += simd::kDoubleLanes)
+        acc += simd::Vd::loadu(x + i);
+      double s = acc.hsum();
+      for (; i < hi; ++i) s += x[i];
+      return s;
+    });
+  }
   return blocked_reduce(n, [&](std::int64_t lo, std::int64_t hi) {
     double s = 0;
     for (std::int64_t i = lo; i < hi; ++i) s += x[i];

@@ -20,6 +20,10 @@ namespace f3d::exec {
 
 /// Fixed reduction block width (elements). Part of the numerical contract:
 /// changing it changes rounding (consistently for every thread count).
+/// When the SIMD build is enabled, each block is additionally strip-mined
+/// into simd::kDoubleLanes-wide packs with a fixed pairwise lane combine —
+/// also data-position based, so the thread-count invariance is unchanged;
+/// only the scalar-vs-SIMD *configurations* round differently.
 inline constexpr std::int64_t kReduceBlock = 4096;
 
 /// sum_i x[i] * y[i], fixed-block tree order.

@@ -157,7 +157,7 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   // --- ghost point scatters -------------------------------------------
   const double scatters =
       counts.linear_its * counts.scatters_per_linear_it + flux_evals;
-  const double ghost_bytes = load.max_ghosts * work.nb * sizeof(double);
+  const double ghost_bytes = load.max_ghosts * work.nb * work.halo_scalar_bytes;
   const double msg_lat =
       load.max_neighbors * machine.net_latency_us * 1e-6;
   // Message packing/unpacking is a *gather* over scattered vertices, far
@@ -251,9 +251,10 @@ StepBreakdown model_step(const perf::MachineModel& machine,
   }
 
   out.scatter_bytes_total =
-      scatters * load.avg_ghosts * work.nb * sizeof(double) * load.procs;
+      scatters * load.avg_ghosts * work.nb * work.halo_scalar_bytes *
+      load.procs;
   const double per_node_bytes =
-      scatters * load.avg_ghosts * work.nb * sizeof(double);
+      scatters * load.avg_ghosts * work.nb * work.halo_scalar_bytes;
   out.effective_bw_per_node_mbs =
       out.t_scatter > 0 ? per_node_bytes / out.t_scatter * 1e-6 : 0;
 

@@ -29,6 +29,11 @@ struct WorkCoefficients {
   /// iteration (SpMV on the Jacobian block row + ILU triangular solve).
   double sparse_bytes_per_vertex_it = 0;
   double sparse_flops_per_vertex_it = 0;
+  /// Bytes per scalar in the halo payload: 8 for double ghosts, 4 when
+  /// the exchange carries single-precision state (the paper's Table 2
+  /// observation applied to the wire — float halos halve the beta term
+  /// of every ghost scatter while the owned arithmetic stays double).
+  double halo_scalar_bytes = 8.0;
 };
 
 /// Measured per-pseudo-timestep solver activity.

@@ -20,6 +20,16 @@ double flip_bit(double v, int bit) {
   return out;
 }
 
+float flip_bit(float v, int bit) {
+  F3D_CHECK_MSG(bit >= 0 && bit <= 31, "bit index must be in [0, 31]");
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof u);
+  u ^= std::uint32_t{1} << bit;
+  float out;
+  std::memcpy(&out, &u, sizeof out);
+  return out;
+}
+
 bool bitflip_fires(FlipTarget target) {
   FaultInjector* inj = active_injector();
   if (inj == nullptr) return false;
@@ -28,7 +38,13 @@ bool bitflip_fires(FlipTarget target) {
   return inj->should_fire(FaultSite::kBitFlip);
 }
 
-long long maybe_flip(FlipTarget target, double* data, long long n) {
+namespace {
+
+// Shared victim-selection + strike logic for both storage scalars. The
+// live threshold scales with the storage type's own epsilon, so float
+// arrays skip values that are roundoff at float accuracy.
+template <class S>
+long long maybe_flip_impl(FlipTarget target, S* data, long long n) {
   if (!bitflip_fires(target)) return -1;
   if (n <= 0 || data == nullptr) return -1;
   FaultInjector* inj = active_injector();
@@ -42,9 +58,9 @@ long long maybe_flip(FlipTarget target, double* data, long long n) {
   // answer; flips there say nothing about the defenses under test.
   // Deterministic: first live value at or after the tagged index
   // (wrapping), a pure function of the tag and the data.
-  double amax = 0;
+  S amax = 0;
   for (long long i = 0; i < n; ++i) amax = std::max(amax, std::abs(data[i]));
-  const double live = amax * std::numeric_limits<double>::epsilon();
+  const S live = amax * std::numeric_limits<S>::epsilon();
   long long idx = tagged;
   long long probe = 0;
   for (; probe < n && std::abs(data[idx]) < live; ++probe) idx = (idx + 1) % n;
@@ -52,6 +68,16 @@ long long maybe_flip(FlipTarget target, double* data, long long n) {
   data[idx] = flip_bit(data[idx], inj->bit_flip().bit);
   obs::Registry::global().count("resilience.bitflip_injected");
   return idx;
+}
+
+}  // namespace
+
+long long maybe_flip(FlipTarget target, double* data, long long n) {
+  return maybe_flip_impl(target, data, n);
+}
+
+long long maybe_flip(FlipTarget target, float* data, long long n) {
+  return maybe_flip_impl(target, data, n);
 }
 
 }  // namespace f3d::resilience

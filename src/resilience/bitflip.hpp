@@ -23,6 +23,12 @@ namespace f3d::resilience {
 /// flip lands the exponent field on all-ones.
 [[nodiscard]] double flip_bit(double v, int bit);
 
+/// Float variant: XOR bit `bit` (0 = mantissa lsb ... 23-30 = exponent,
+/// 31 = sign). Throws f3d::Error on a bit outside [0, 31]. Targets the
+/// float-storage arrays of mixed-precision mode (Bcsr<float> operator,
+/// float ILU factors).
+[[nodiscard]] float flip_bit(float v, int bit);
+
 /// One FaultSite::kBitFlip opportunity announced by an instrumented site
 /// whose data is `target`. Returns false (without consuming a draw) when
 /// no injector is registered or the armed BitFlipSpec aims at a
@@ -41,5 +47,11 @@ namespace f3d::resilience {
 /// rounding noise for any invariant-based detector. Counts fired flips
 /// into the obs registry as "resilience.bitflip_injected".
 long long maybe_flip(FlipTarget target, double* data, long long n);
+
+/// Float-storage variant of the same site (used when the injected array
+/// holds floats, e.g. the Bcsr<float> Krylov operator of
+/// matrix_single_precision mode). The armed bit must be in [0, 31]; the
+/// live threshold uses float epsilon.
+long long maybe_flip(FlipTarget target, float* data, long long n);
 
 }  // namespace f3d::resilience

@@ -22,21 +22,28 @@
 
 namespace f3d::simcache {
 
-/// y = A x for point CSR.
+/// y = A x for point CSR. The arithmetic funnels through the same
+/// sparse::detail dot helpers (with the same SIMD dispatch) as the
+/// production kernel, so the results stay bit-identical to production in
+/// both the scalar and SIMD configurations.
 template <class Tracer>
 void traced_spmv_csr(const sparse::Csr<double>& a, const double* x, double* y,
                      Tracer& t) {
+  const bool use_simd = f3d::simd::enabled();
   for (int i = 0; i < a.n; ++i) {
     t.touch(&a.ptr[i], 2 * sizeof(int));
-    double s = 0;
     for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p) {
       t.touch(&a.col[p], sizeof(int));
       t.touch(&a.val[p], sizeof(double));
       t.touch(&x[a.col[p]], sizeof(double));
-      s += a.val[p] * x[a.col[p]];
     }
+    const int b = a.ptr[i];
+    const int count = a.ptr[i + 1] - b;
     t.touch(&y[i], sizeof(double));
-    y[i] = s;
+    y[i] = use_simd ? sparse::detail::row_dot_promote_simd(
+                          a.val.data() + b, a.col.data() + b, count, x)
+                    : sparse::detail::row_dot_promote(
+                          a.val.data() + b, a.col.data() + b, count, x);
   }
 }
 
@@ -47,6 +54,7 @@ void traced_spmv_bcsr(const sparse::Bcsr<double>& a, const double* x,
                       double* y, Tracer& t) {
   const int nb = a.nb;
   const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
+  const bool use_simd = f3d::simd::enabled();
   for (int i = 0; i < a.nrows; ++i) {
     t.touch(&a.ptr[i], 2 * sizeof(int));
     double acc[8] = {0};
@@ -56,11 +64,11 @@ void traced_spmv_bcsr(const sparse::Bcsr<double>& a, const double* x,
       t.touch(b, bsz * sizeof(double));
       const double* xj = &x[static_cast<std::size_t>(a.col[p]) * nb];
       t.touch(xj, static_cast<std::size_t>(nb) * sizeof(double));
-      for (int r = 0; r < nb; ++r) {
-        double s = 0;
-        for (int c = 0; c < nb; ++c) s += b[r * nb + c] * xj[c];
-        acc[r] += s;
-      }
+      for (int r = 0; r < nb; ++r)
+        acc[r] += use_simd
+                      ? sparse::detail::dense_dot_promote_simd(b + r * nb, xj,
+                                                               nb)
+                      : sparse::detail::dense_dot_promote(b + r * nb, xj, nb);
     }
     double* yi = &y[static_cast<std::size_t>(i) * nb];
     t.touch(yi, static_cast<std::size_t>(nb) * sizeof(double));

@@ -231,6 +231,13 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
 
   // Jacobian + Schwarz preconditioner built lazily on the first step.
   sparse::Bcsr<double> jac = problem.allocate_jacobian();
+  // Float-storage copy of the assembled operator for mixed-precision
+  // mode: stored float, products accumulate in double (promote-on-load).
+  // Refreshed together with jac; the preconditioner keeps factoring from
+  // the double assembly (pair with schwarz.single_precision for float
+  // ILU factors too).
+  sparse::Bcsr<float> jac_f;
+  const bool mat_single = opts.matrix_single_precision && !opts.matrix_free;
   std::unique_ptr<RefactorablePreconditioner> prec;
   part::Partition partition = opts.partition;
   if (partition.nparts == 0) {
@@ -385,18 +392,36 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
             F3D_CHECK(blk != nullptr);
             for (int c = 0; c < nb; ++c) blk[c * nb + c] += diag[v];
           }
+          // Mixed precision: narrow the assembled operator (with its
+          // pseudo-time diagonal) to float storage. The Krylov products
+          // read this copy; the preconditioner still factors from the
+          // double assembly.
+          if (mat_single) jac_f = jac.convert<float>();
           // ABFT checksums are a function of the values just assembled:
           // rebuild here, and only here — any flip landing after this
-          // point is exactly what verify_spmv exists to catch.
-          if (sdc_on && sdc.abft && !opts.matrix_free)
-            sparse::rebuild(abft_guard, jac);
+          // point is exactly what verify_spmv exists to catch. The guard
+          // checksums the matrix the operator actually multiplies with —
+          // the float copy in mixed-precision mode (rebuild widens the
+          // bound to FLT_EPSILON there).
+          if (sdc_on && sdc.abft && !opts.matrix_free) {
+            if (mat_single)
+              sparse::rebuild(abft_guard, jac_f);
+            else
+              sparse::rebuild(abft_guard, jac);
+          }
           // SDC site: a silent flip in the assembled operator (after the
           // checksum rebuild, so ABFT is the guard on the hook; with
           // matrix_free on, the flip only degrades the preconditioner —
-          // a measured escape path).
-          resilience::maybe_flip(resilience::FlipTarget::kMatrix,
-                                 jac.val.data(),
-                                 static_cast<long long>(jac.val.size()));
+          // a measured escape path). Strikes the storage the Krylov
+          // products read: the float copy in mixed-precision mode.
+          if (mat_single)
+            resilience::maybe_flip(resilience::FlipTarget::kMatrix,
+                                   jac_f.val.data(),
+                                   static_cast<long long>(jac_f.val.size()));
+          else
+            resilience::maybe_flip(resilience::FlipTarget::kMatrix,
+                                   jac.val.data(),
+                                   static_cast<long long>(jac.val.size()));
           if (sguard.charge(guard::kUnitsFactor) != guard::TripReason::kNone)
             throw guard::CancelledError(sguard.tripped());
           F3D_OBS_SPAN("factor");
@@ -455,9 +480,13 @@ PtcResult ptc_solve_impl(NonlinearProblem& problem, std::vector<double>& x,
         if (!opts.matrix_free) {
           // jac already carries the pseudo-time diagonal from the refresh.
           // With the ABFT guard built, every product is checksum-verified
-          // (an O(n) add-on to the O(nnz) product).
+          // (an O(n) add-on to the O(nnz) product). Mixed-precision mode
+          // multiplies with the float-storage copy (double accumulation).
           op.apply = [&](const double* v, double* y) {
-            jac.spmv(v, y);
+            if (mat_single)
+              jac_f.spmv(v, y);
+            else
+              jac.spmv(v, y);
             if (sdc_on && sdc.abft && abft_guard.valid() &&
                 !sparse::verify_spmv(abft_guard, v, y, n))
               abft_failed = true;

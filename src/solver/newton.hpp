@@ -215,6 +215,14 @@ struct PtcOptions {
   /// paper's matrix-free choice (ablated in bench_ablation_subsolver).
   bool matrix_free = true;
 
+  /// With matrix_free == false: keep the Krylov operator's Jacobian in
+  /// float storage (Bcsr<float>, arithmetic still double — the Table 2
+  /// storage/accumulate split applied to the operator itself, halving its
+  /// memory traffic). The ABFT guard, when on, checksums the float copy
+  /// and widens its bound to FLT_EPSILON. Pair with
+  /// schwarz.single_precision for float preconditioner factors too.
+  bool matrix_single_precision = false;
+
   /// Backtracking line search steps (0 = plain Newton).
   int max_line_search = 3;
 

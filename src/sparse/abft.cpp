@@ -10,43 +10,65 @@
 
 namespace f3d::sparse {
 
-void rebuild(AbftGuard& g, const Csr<double>& a) {
+namespace {
+
+// Storage scalar decides the eps of the verify bound: the stored entries
+// carry S's rounding, so the checksum identity holds only to S accuracy.
+template <class S>
+constexpr double storage_roundoff() {
+  return sizeof(S) == sizeof(float) ? FLT_EPSILON : DBL_EPSILON;
+}
+
+template <class S>
+void rebuild_csr(AbftGuard& g, const Csr<S>& a) {
   const int n = a.n;
   g.colsum.assign(static_cast<std::size_t>(n), 0.0);
   g.colsum_abs.assign(static_cast<std::size_t>(n), 0.0);
+  g.unit_roundoff = storage_roundoff<S>();
   g.verifies = 0;
   g.failures = 0;
   // Column sums scatter across rows; keep the accumulation serial (it is
   // O(nnz) once per reassembly, not once per product) so the checksum
-  // itself is trivially deterministic.
+  // itself is trivially deterministic. Entries promote to double — the
+  // same promote-on-load contract as the spmv the checksum guards.
   for (int i = 0; i < n; ++i)
     for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p) {
-      const double v = a.val[p];
+      const double v = static_cast<double>(a.val[p]);
       g.colsum[a.col[p]] += v;
       g.colsum_abs[a.col[p]] += std::fabs(v);
     }
 }
 
-void rebuild(AbftGuard& g, const Bcsr<double>& a) {
+template <class S>
+void rebuild_bcsr(AbftGuard& g, const Bcsr<S>& a) {
   const int n = a.scalar_n();
   const int nb = a.nb;
   const std::size_t bsz = static_cast<std::size_t>(nb) * nb;
   g.colsum.assign(static_cast<std::size_t>(n), 0.0);
   g.colsum_abs.assign(static_cast<std::size_t>(n), 0.0);
+  g.unit_roundoff = storage_roundoff<S>();
   g.verifies = 0;
   g.failures = 0;
   for (int i = 0; i < a.nrows; ++i)
     for (int p = a.ptr[i]; p < a.ptr[i + 1]; ++p) {
-      const double* b = &a.val[p * bsz];
+      const S* b = &a.val[p * bsz];
       const std::size_t j0 = static_cast<std::size_t>(a.col[p]) * nb;
       for (int r = 0; r < nb; ++r)
         for (int c = 0; c < nb; ++c) {
-          const double v = b[static_cast<std::size_t>(r) * nb + c];
+          const double v =
+              static_cast<double>(b[static_cast<std::size_t>(r) * nb + c]);
           g.colsum[j0 + c] += v;
           g.colsum_abs[j0 + c] += std::fabs(v);
         }
     }
 }
+
+}  // namespace
+
+void rebuild(AbftGuard& g, const Csr<double>& a) { rebuild_csr(g, a); }
+void rebuild(AbftGuard& g, const Bcsr<double>& a) { rebuild_bcsr(g, a); }
+void rebuild(AbftGuard& g, const Csr<float>& a) { rebuild_csr(g, a); }
+void rebuild(AbftGuard& g, const Bcsr<float>& a) { rebuild_bcsr(g, a); }
 
 bool verify_spmv(AbftGuard& g, const double* x, const double* y,
                  std::int64_t n) {
@@ -67,7 +89,7 @@ bool verify_spmv(AbftGuard& g, const double* x, const double* y,
       },
       /*grain=*/4096);
   const double mass = exec::dot(n, g.colsum_abs.data(), ax);
-  const double bound = g.slack * DBL_EPSILON * mass;
+  const double bound = g.slack * g.unit_roundoff * mass;
 
   ++g.verifies;
   obs::Registry::global().count("abft.verifies");

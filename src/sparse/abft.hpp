@@ -41,6 +41,12 @@ struct AbftGuard {
   std::vector<double> colsum;      ///< c = Aᵀ·1 (signed column sums)
   std::vector<double> colsum_abs;  ///< |A|ᵀ·1 (rounding-bound mass)
   double slack = 1024.0;           ///< multiplies eps in the bound
+  /// The eps of the bound: the *storage* unit roundoff of the guarded
+  /// matrix. rebuild() sets it — DBL_EPSILON for double storage,
+  /// FLT_EPSILON for float storage (the checksums are computed from the
+  /// promoted entries, but each stored entry carries float rounding, so
+  /// the product and the checksum identity both live at float accuracy).
+  double unit_roundoff = 2.220446049250313e-16;  // DBL_EPSILON
   long long verifies = 0;          ///< products checked since rebuild()
   long long failures = 0;          ///< bound violations observed
 
@@ -58,9 +64,15 @@ private:
 
 /// Recompute the checksums from the current values of `a` (scalar
 /// columns; for Bcsr the checksum is over the scalar expansion, so it
-/// guards every one of the nb*nb entries of every block).
+/// guards every one of the nb*nb entries of every block). Float-storage
+/// overloads promote each entry to double for the checksum accumulation
+/// and widen the guard's unit_roundoff to FLT_EPSILON — the bound must
+/// absorb float storage rounding or clean mixed-precision products would
+/// trip it.
 void rebuild(AbftGuard& g, const Csr<double>& a);
 void rebuild(AbftGuard& g, const Bcsr<double>& a);
+void rebuild(AbftGuard& g, const Csr<float>& a);
+void rebuild(AbftGuard& g, const Bcsr<float>& a);
 
 /// Verify y == A x via the checksum identity; `y` must already hold the
 /// product. Returns true when the identity holds within the rounding

@@ -52,6 +52,25 @@ TriSchedule lower_levels(const IluPattern& pat);
 /// Schedule of the backward (U, cols > diag) solve of `pat`.
 TriSchedule upper_levels(const IluPattern& pat);
 
+namespace detail {
+/// One triangular-solve row update: s0 minus the row's partial dot with
+/// x, promoted to double. Scalar path subtracts term by term (the seed
+/// kernel, unchanged); SIMD path strip-mines through
+/// row_dot_promote_simd and subtracts once. Both PointIlu::solve and
+/// solve_levels funnel through this single helper with the same
+/// use_simd value, which is what keeps the serial and level-scheduled
+/// solves bit-identical in every configuration.
+template <class S>
+[[nodiscard]] inline double tri_row_reduce(bool use_simd, const S* val,
+                                           const int* col, int count,
+                                           const double* x, double s0) {
+  if (use_simd) return s0 - row_dot_promote_simd(val, col, count, x);
+  for (int k = 0; k < count; ++k)
+    s0 -= static_cast<double>(val[k]) * x[col[k]];
+  return s0;
+}
+}  // namespace detail
+
 /// Point ILU factors, storage scalar S (double or float).
 template <class S>
 struct PointIlu {
@@ -60,18 +79,20 @@ struct PointIlu {
 
   /// x = (LU)^{-1} b, double arithmetic.
   void solve(const double* b, double* x) const {
+    const bool use_simd = simd::enabled();
     const int n = pat.n;
+    const S* v = val.data();
+    const int* c = pat.col.data();
     for (int i = 0; i < n; ++i) {
-      double s = b[i];
-      for (int p = pat.ptr[i]; p < pat.diag[i]; ++p)
-        s -= static_cast<double>(val[p]) * x[pat.col[p]];
-      x[i] = s;
+      const int p0 = pat.ptr[i];
+      x[i] = detail::tri_row_reduce(use_simd, v + p0, c + p0,
+                                    pat.diag[i] - p0, x, b[i]);
     }
     for (int i = n - 1; i >= 0; --i) {
-      double s = x[i];
-      for (int p = pat.diag[i] + 1; p < pat.ptr[i + 1]; ++p)
-        s -= static_cast<double>(val[p]) * x[pat.col[p]];
-      x[i] = s / static_cast<double>(val[pat.diag[i]]);
+      const int p0 = pat.diag[i] + 1;
+      const double s = detail::tri_row_reduce(use_simd, v + p0, c + p0,
+                                              pat.ptr[i + 1] - p0, x, x[i]);
+      x[i] = s / static_cast<double>(v[pat.diag[i]]);
     }
   }
 
@@ -86,17 +107,19 @@ struct PointIlu {
   /// come from lower_levels/upper_levels of this factor's pattern.
   void solve_levels(const TriSchedule& fwd, const TriSchedule& bwd,
                     const double* b, double* x) const {
+    const bool use_simd = simd::enabled();
+    const S* v = val.data();
+    const int* c = pat.col.data();
     auto& pool = exec::pool();
     for (int l = 0; l < fwd.num_levels(); ++l) {
       pool.parallel_for(
           fwd.level_ptr[l], fwd.level_ptr[l + 1],
-          [&](std::int64_t lo, std::int64_t hi) {
+          [&, use_simd](std::int64_t lo, std::int64_t hi) {
             for (std::int64_t k = lo; k < hi; ++k) {
               const int i = fwd.rows[k];
-              double s = b[i];
-              for (int p = pat.ptr[i]; p < pat.diag[i]; ++p)
-                s -= static_cast<double>(val[p]) * x[pat.col[p]];
-              x[i] = s;
+              const int p0 = pat.ptr[i];
+              x[i] = detail::tri_row_reduce(use_simd, v + p0, c + p0,
+                                            pat.diag[i] - p0, x, b[i]);
             }
           },
           /*grain=*/128);
@@ -104,13 +127,13 @@ struct PointIlu {
     for (int l = 0; l < bwd.num_levels(); ++l) {
       pool.parallel_for(
           bwd.level_ptr[l], bwd.level_ptr[l + 1],
-          [&](std::int64_t lo, std::int64_t hi) {
+          [&, use_simd](std::int64_t lo, std::int64_t hi) {
             for (std::int64_t k = lo; k < hi; ++k) {
               const int i = bwd.rows[k];
-              double s = x[i];
-              for (int p = pat.diag[i] + 1; p < pat.ptr[i + 1]; ++p)
-                s -= static_cast<double>(val[p]) * x[pat.col[p]];
-              x[i] = s / static_cast<double>(val[pat.diag[i]]);
+              const int p0 = pat.diag[i] + 1;
+              const double s = detail::tri_row_reduce(
+                  use_simd, v + p0, c + p0, pat.ptr[i + 1] - p0, x, x[i]);
+              x[i] = s / static_cast<double>(v[pat.diag[i]]);
             }
           },
           /*grain=*/128);

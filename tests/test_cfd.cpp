@@ -261,9 +261,10 @@ TEST(EulerDisc, GradientsExactForLinearField) {
   for (int v = 0; v < m.num_vertices(); ++v) {
     if (on_boundary[v]) continue;
     ++checked;
+    // SoA-blocked gradient layout: grad[(v*3 + d)*nb + c].
     for (int c = 0; c < 4; ++c)
       for (int d = 0; d < 3; ++d)
-        EXPECT_NEAR(grad[(static_cast<std::size_t>(v) * 4 + c) * 3 + d],
+        EXPECT_NEAR(grad[(static_cast<std::size_t>(v) * 3 + d) * 4 + c],
                     g[c][d], 1e-10)
             << "v=" << v << " c=" << c << " d=" << d;
   }

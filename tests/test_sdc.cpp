@@ -230,6 +230,104 @@ TEST(Abft, VerdictIsThreadCountInvariant) {
   exec::set_threads(before);
 }
 
+// --- ABFT under float storage (mixed precision) ---------------------------
+
+TEST(AbftFloat, RebuildWidensBoundToFloatRoundoff) {
+  auto ad = laplacian1d(100);
+  const auto af = ad.convert<float>();
+  sparse::AbftGuard g;
+  sparse::rebuild(g, ad);
+  EXPECT_DOUBLE_EQ(g.unit_roundoff, 2.220446049250313e-16);
+  sparse::rebuild(g, af);
+  EXPECT_DOUBLE_EQ(g.unit_roundoff, 1.1920928955078125e-7);
+}
+
+TEST(AbftFloat, TwoThousandCleanMixedProductsZeroFalsePositives) {
+  // The mixed-precision false-positive guarantee: float storage rounds
+  // every entry, so the double-eps bound would trip on clean products;
+  // the widened FLT_EPSILON bound must never fire over a long clean run.
+  const auto af = laplacian1d(500).convert<float>();
+  sparse::AbftGuard g;
+  sparse::rebuild(g, af);
+  std::vector<double> x(static_cast<std::size_t>(af.n)), y;
+  for (int step = 0; step < 2000; ++step) {
+    for (int i = 0; i < af.n; ++i)
+      x[static_cast<std::size_t>(i)] = std::sin(0.1 * i + 0.01 * step) + 2.0;
+    EXPECT_TRUE(sparse::spmv_verified(g, af, x, y)) << "step " << step;
+  }
+  EXPECT_EQ(g.verifies, 2000);
+  EXPECT_EQ(g.failures, 0);
+}
+
+TEST(AbftFloat, ExponentFlipCorpusDetectionRateAtLeast90Percent) {
+  // Corpus: every float exponent bit (23-30) of a spread of live stored
+  // entries. The guard must catch >= 90% — the escapes are bit-23 flips
+  // on the smallest live values, whose perturbation can sit inside the
+  // widened rounding bound.
+  const auto af = laplacian1d(500).convert<float>();
+  sparse::AbftGuard g;
+  sparse::rebuild(g, af);
+  auto x = test_vector(af.n);
+  std::vector<double> y;
+
+  std::vector<std::size_t> live;
+  for (std::size_t k = 0; k < af.val.size() && live.size() < 25; k += 57)
+    if (std::abs(af.val[k]) >= 0.5) live.push_back(k);
+  ASSERT_GE(live.size(), 20u);
+
+  int cases = 0, caught = 0;
+  for (std::size_t k : live)
+    for (int bit = 23; bit <= 30; ++bit) {
+      auto corrupt = af;
+      corrupt.val[k] = resilience::flip_bit(corrupt.val[k], bit);
+      ++cases;
+      if (!sparse::spmv_verified(g, corrupt, x, y)) ++caught;
+    }
+  EXPECT_GE(caught, (cases * 9 + 9) / 10)
+      << caught << "/" << cases << " exponent flips detected";
+}
+
+TEST(AbftFloat, FloatSignFlipIsCaught) {
+  const auto af = laplacian1d(300).convert<float>();
+  sparse::AbftGuard g;
+  sparse::rebuild(g, af);
+  auto x = test_vector(af.n);
+  std::vector<double> y;
+  auto corrupt = af;
+  corrupt.val[400] = resilience::flip_bit(corrupt.val[400], 31);
+  EXPECT_FALSE(sparse::spmv_verified(g, corrupt, x, y));
+}
+
+TEST(AbftFloat, FloatMaybeFlipIsDeterministicAndLive) {
+  // The float overload of the injector: same live-victim policy, float
+  // epsilon threshold, deterministic victim for a fixed seed.
+  auto run = [&]() {
+    FaultInjector inj(42);
+    FaultPlan p;
+    p.fire_every = 1;
+    inj.arm(FaultSite::kBitFlip, p);
+    inj.set_bit_flip({.bit = 30, .target = FlipTarget::kMatrix});
+    InjectorScope scope(&inj);
+    std::vector<float> data = {0.0F, 1.5F, 0.0F, -2.25F, 3.0F, 0.0F};
+    const long long idx = maybe_flip(FlipTarget::kMatrix, data.data(),
+                                     static_cast<long long>(data.size()));
+    return std::make_pair(idx, data);
+  };
+  const auto [i1, d1] = run();
+  const auto [i2, d2] = run();
+  ASSERT_GE(i1, 0);
+  EXPECT_EQ(i1, i2);
+  // Byte comparison: a bit-30 flip can land on NaN, where operator== is
+  // false even for identical corruption.
+  EXPECT_EQ(std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(float)), 0);
+  // The victim was a live (nonzero) value.
+  const std::vector<float> orig = {0.0F, 1.5F, 0.0F, -2.25F, 3.0F, 0.0F};
+  EXPECT_NE(std::memcmp(&d1[static_cast<std::size_t>(i1)],
+                        &orig[static_cast<std::size_t>(i1)], sizeof(float)),
+            0);
+  EXPECT_TRUE(i1 == 1 || i1 == 3 || i1 == 4);
+}
+
 // --- Krylov invariant monitor ---------------------------------------------
 
 TEST(KrylovMonitor, InjectedDirectionFlipTripsGmresDrift) {
@@ -622,6 +720,74 @@ TEST(CleanRun, TwoThousandStepsZeroDetectionsAndGuardsAreBitTransparent) {
             0)
       << "enabling the SDC guards changed the computed state";
   exec::set_threads(before);
+}
+
+TEST(CleanRun, MixedPrecisionTwoThousandStepsZeroFalsePositives) {
+  // End-to-end mixed precision under the full SDC guard stack: the float
+  // Krylov operator's products are ABFT-verified against the widened
+  // FLT_EPSILON bound on every iteration of every step — a clean run
+  // must never trip it.
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = 4, .ny = 3, .nz = 3});
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+  solver::PtcOptions o;
+  o.cfl0 = 20.0;
+  o.max_steps = 2000;
+  o.rtol = 1e-300;  // unreachable: force all 2000 steps
+  o.num_subdomains = 2;
+  o.schwarz.fill_level = 1;
+  o.schwarz.single_precision = true;
+  o.matrix_free = false;
+  o.matrix_single_precision = true;
+  o.jacobian_refresh = 4;
+  o.recovery.enabled = true;
+  o.sdc.enabled = true;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_EQ(res.steps, 2000);
+  EXPECT_EQ(res.sdc_detections, 0);
+  EXPECT_EQ(res.sdc_recomputes, 0);
+  EXPECT_EQ(res.sdc_rollbacks, 0);
+  EXPECT_EQ(res.recovery_log.count(RecoveryAction::kDetectSdc), 0);
+}
+
+TEST(PtcSdc, MixedPrecisionMatrixFlipDetectedByAbft) {
+  // A flip landing in the float operator after the checksum rebuild is
+  // exactly what the widened guard must still catch.
+  auto m = mesh::generate_wing_mesh(
+      mesh::WingMeshConfig{.nx = 4, .ny = 3, .nz = 3});
+  cfd::FlowConfig cfg;
+  cfg.model = cfd::Model::kIncompressible;
+  cfg.order = 1;
+  cfd::EulerDiscretization disc(m, cfg);
+  cfd::EulerProblem prob(disc, -1.0);
+  auto x = prob.initial_state();
+
+  FaultInjector inj(7);
+  FaultPlan p;
+  p.fire_every = 3;  // one flip a few refreshes in
+  inj.arm(FaultSite::kBitFlip, p);
+  inj.set_bit_flip({.bit = 28, .target = FlipTarget::kMatrix});
+  InjectorScope scope(&inj);
+
+  solver::PtcOptions o;
+  o.cfl0 = 20.0;
+  o.max_steps = 30;
+  o.rtol = 1e-300;
+  o.num_subdomains = 2;
+  o.matrix_free = false;
+  o.matrix_single_precision = true;
+  o.schwarz.single_precision = true;
+  o.jacobian_refresh = 1;  // refresh (and so flip opportunity) every step
+  o.recovery.enabled = true;
+  o.sdc.enabled = true;
+  auto res = solver::ptc_solve(prob, x, o);
+  EXPECT_GT(res.sdc_detections, 0)
+      << "float-exponent flip in the mixed-precision operator escaped ABFT";
 }
 
 }  // namespace
