@@ -20,7 +20,20 @@ Checks, in order:
      scenarios with the stall scenario detected, and p99 cancellation
      latency within the documented work-unit bound at 1, 2 and 4
      threads with thread-invariant cancelled states.
-  5. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
+  5. BENCH_tune.json (when committed) carries the self-tuning gates: at
+     least two mesh-class cells with the tuned-vs-default keys, a tuned
+     time never worse than the default (beyond timing noise), a
+     bit-identical DB round-trip per cell, and an honest gate_note on
+     any cell that retained the compiled defaults.
+  6. Optionally (--tunedb FILE) a persisted tuning database matches the
+     f3d-tunedb-v1 schema: the schema tag, an entries array, and per
+     entry the (mesh_class, host_isa, precision) key plus a config
+     object.
+  7. Optionally (--knobs FILE, a `tuned_solve -dump-knobs` catalog)
+     every registered knob is documented: each knob's name must appear
+     in docs/TUNING.md (or --tuning-md FILE), so adding a knob without
+     documenting it fails CI.
+  8. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
      ROADMAP.md, or docs/*.md.
 
 Stdlib only; exits nonzero with one line per problem found.
@@ -66,6 +79,8 @@ def check_bench_report(path, errors):
         check_deadline_series(path, doc["series"], errors)
     if meta.get("experiment") == "simd":
         check_simd_series(path, doc["series"], errors)
+    if meta.get("experiment") == "tune":
+        check_tune_series(path, doc["series"], errors)
 
 
 def check_host_isa(path, meta, errors):
@@ -253,6 +268,115 @@ def check_deadline_series(path, series, errors):
                       "- cancelled states diverged across thread counts")
 
 
+TUNE_CELL_KEYS = (
+    "mesh_class", "vertices", "default_seconds", "tuned_seconds",
+    "speedup", "trials", "improved", "db_roundtrip_identical",
+    "tuned_config",
+)
+
+TUNEDB_SCHEMA = "f3d-tunedb-v1"
+
+
+def check_tune_series(path, series, errors):
+    """Self-tuning gates re-checked from the committed artifact: the tuned
+    config must never be worse than the compiled defaults (the search's
+    structural fallback), every cell's DB round-trip must be bit-exact,
+    and a cell that kept the defaults must say why."""
+    if not isinstance(series, dict):
+        errors.append(f"{path}: tune series must be an object")
+        return
+    cells = series.get("mesh_classes")
+    if not isinstance(cells, list) or len(cells) < 2:
+        errors.append(f"{path}: mesh_classes must cover >= 2 mesh classes")
+        cells = cells if isinstance(cells, list) else []
+    for k, cell in enumerate(cells):
+        missing = [key for key in TUNE_CELL_KEYS
+                   if not isinstance(cell, dict) or key not in cell]
+        if missing:
+            errors.append(f"{path}: mesh_classes cell {k} missing "
+                          f"{', '.join(missing)}")
+            continue
+        # Never-worse with a 2% timing-noise margin: speedup >= 0.98.
+        if not isinstance(cell.get("speedup"), (int, float)) or \
+                cell["speedup"] < 0.98:
+            errors.append(f"{path}: cell {cell.get('mesh_class')!r} speedup "
+                          f"{cell.get('speedup')!r} violates the never-worse "
+                          "gate (need >= 0.98)")
+        if cell.get("db_roundtrip_identical") is not True:
+            errors.append(f"{path}: cell {cell.get('mesh_class')!r} DB "
+                          "round-trip is not bit-identical")
+        if cell.get("improved") is not True and not (
+                isinstance(cell.get("gate_note"), str) and cell["gate_note"]):
+            errors.append(f"{path}: cell {cell.get('mesh_class')!r} kept "
+                          "the defaults but carries no gate_note - a "
+                          "no-improvement result must be honestly annotated")
+    if series.get("never_worse") is not True:
+        errors.append(f"{path}: never_worse must be true - the search's "
+                      "baseline fallback guarantees it structurally")
+    if series.get("db_schema") != TUNEDB_SCHEMA:
+        errors.append(f"{path}: db_schema is {series.get('db_schema')!r}, "
+                      f"expected {TUNEDB_SCHEMA!r}")
+
+
+def check_tunedb(path, errors):
+    """Persisted tuning DB must match the f3d-tunedb-v1 schema the loader
+    validates at solver startup."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON ({e})")
+        return
+    if doc.get("schema") != TUNEDB_SCHEMA:
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, expected "
+                      f"{TUNEDB_SCHEMA!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        errors.append(f"{path}: entries missing or empty")
+        return
+    for k, e in enumerate(entries):
+        if not isinstance(e, dict):
+            errors.append(f"{path}: entry {k} not an object")
+            continue
+        key_obj = e.get("key")
+        if not isinstance(key_obj, dict):
+            errors.append(f"{path}: entry {k} missing key object")
+            key_obj = {}
+        for key in ("mesh_class", "host_isa", "precision"):
+            if not isinstance(key_obj.get(key), str) or not key_obj[key]:
+                errors.append(f"{path}: entry {k} missing key field {key!r}")
+        if not isinstance(e.get("config"), dict) or not e["config"]:
+            errors.append(f"{path}: entry {k} missing config object")
+
+
+def check_knob_docs(knobs_path, tuning_md, errors):
+    """Every knob in the dumped catalog must be named in the tuning doc;
+    an undocumented knob is a docs failure, not a silent drift."""
+    try:
+        with open(knobs_path, encoding="utf-8") as f:
+            catalog = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{knobs_path}: unreadable or invalid JSON ({e})")
+        return
+    if not isinstance(catalog, list) or not catalog:
+        errors.append(f"{knobs_path}: knob catalog must be a non-empty array")
+        return
+    try:
+        with open(tuning_md, encoding="utf-8") as f:
+            doc_text = f.read()
+    except OSError as e:
+        errors.append(f"{tuning_md}: cannot read tuning doc ({e})")
+        return
+    for k, knob in enumerate(catalog):
+        name = knob.get("name") if isinstance(knob, dict) else None
+        if not isinstance(name, str) or not name:
+            errors.append(f"{knobs_path}: catalog record {k} has no name")
+            continue
+        if name not in doc_text:
+            errors.append(f"{tuning_md}: registered knob {name!r} is not "
+                          "documented (knob catalog cross-check)")
+
+
 def check_trace(path, min_coverage, errors):
     try:
         with open(path, encoding="utf-8") as f:
@@ -321,6 +445,14 @@ def main():
     ap.add_argument("--min-coverage", type=float, default=0.0,
                     help="required depth-1 coverage of the ptc_solve root "
                          "span (e.g. 0.9); 0 disables the check")
+    ap.add_argument("--tunedb", help="persisted tuning DB (f3d-tunedb-v1) "
+                                     "to validate")
+    ap.add_argument("--knobs", help="knob catalog JSON (tuned_solve "
+                                    "-dump-knobs) to cross-check against "
+                                    "the tuning doc")
+    ap.add_argument("--tuning-md", default=None,
+                    help="tuning doc for the knob cross-check "
+                         "(default: <repo>/docs/TUNING.md)")
     ap.add_argument("--repo", default=None,
                     help="repo root (default: parent of this script)")
     args = ap.parse_args()
@@ -337,6 +469,14 @@ def main():
 
     if args.trace:
         check_trace(args.trace, args.min_coverage, errors)
+
+    if args.tunedb:
+        check_tunedb(args.tunedb, errors)
+
+    if args.knobs:
+        tuning_md = args.tuning_md or os.path.join(repo_root, "docs",
+                                                   "TUNING.md")
+        check_knob_docs(args.knobs, tuning_md, errors)
 
     check_markdown_links(repo_root, errors)
 

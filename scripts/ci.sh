@@ -23,9 +23,16 @@
 #      watchdog false-positives on a clean scenario or misses the stall
 #      scenario, or p99 cancellation latency exceeds the documented
 #      work-unit bound at 1/2/4 threads)
+#      threads), then the self-tuning A/B (writes BENCH_tune.json +
+#      build/tune_db.json; exits nonzero when the tuned config is worse
+#      than the compiled defaults or the DB round-trip is not
+#      bit-identical)
 #   3. docs gate: a traced quickstart run must produce a schema-valid
 #      Chrome trace whose phase spans cover >=90% of the solve, every
-#      committed BENCH_*.json must carry the f3d-bench-v1 envelope, and
+#      committed BENCH_*.json must carry the f3d-bench-v1 envelope, the
+#      tuning DB must match f3d-tunedb-v1, every registered knob (dumped
+#      via tuned_solve -dump-knobs) must be documented in docs/TUNING.md
+#      (with a negative control proving the cross-check can fail), and
 #      the markdown must have no dead relative links
 #   4. ASan+UBSan build + the resilience-labelled tests (the fault
 #      injection / recovery / checkpoint / distributed-campaign paths,
@@ -75,6 +82,9 @@ ctest --preset release-failslow -j "$JOBS"
 echo "=== guard-labelled tests (release, hang-detection lane) ==="
 ctest --preset release-guard -j "$JOBS" --timeout 120
 
+echo "=== tune-labelled tests (release) ==="
+ctest --preset release-tune -j "$JOBS"
+
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
 
@@ -90,9 +100,26 @@ echo "=== fail-slow mitigation sweep (BENCH_failslow.json) ==="
 echo "=== deadline oracle campaign (BENCH_deadline.json) ==="
 ./build/bench/bench_deadline -out BENCH_deadline.json
 
+echo "=== self-tuning A/B (BENCH_tune.json + build/tune_db.json) ==="
+./build/bench/bench_tune -small 2500 -medium 6000 -width 8 -rungs 2 \
+  -db build/tune_db.json -out BENCH_tune.json
+
 echo "=== docs gate: trace schema + bench envelopes + markdown links ==="
 F3D_TRACE=1 F3D_TRACE_OUT=build/ci_trace.json ./build/examples/quickstart
-python3 scripts/check_docs.py --trace build/ci_trace.json --min-coverage 0.9
+./build/examples/tuned_solve -dump-knobs > build/knobs.json
+python3 scripts/check_docs.py --trace build/ci_trace.json --min-coverage 0.9 \
+  --tunedb build/tune_db.json --knobs build/knobs.json
+
+# Negative control for the knob-catalog cross-check: strip one knob from
+# a copy of the tuning doc and demand the gate notices. A gate that
+# cannot fail is not a gate.
+echo "=== docs gate negative control (deliberately undocumented knob) ==="
+grep -v 'ptc\.cfl0' docs/TUNING.md > build/TUNING_missing.md
+if python3 scripts/check_docs.py --knobs build/knobs.json \
+     --tuning-md build/TUNING_missing.md >/dev/null 2>&1; then
+  echo "ERROR: check_docs.py accepted a tuning doc missing ptc.cfl0" >&2
+  exit 1
+fi
 
 echo "=== asan build + resilience-labelled tests ==="
 cmake --preset asan
@@ -100,6 +127,7 @@ cmake --build --preset asan -j "$JOBS"
 ctest --preset asan-resilience -j "$JOBS"
 ctest --preset asan-sdc -j "$JOBS"
 ctest --preset asan-failslow -j "$JOBS"
+ctest --preset asan-tune -j "$JOBS"
 
 # UBSan over the explicit SIMD kernels: the memcpy-based pack loads and
 # the float promote paths must be alignment- and aliasing-clean.

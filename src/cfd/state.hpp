@@ -12,10 +12,15 @@
 // once per vertex so the two layouts run the identical instruction mix and
 // differ only in memory behaviour — exactly the paper's §2.1.1 experiment.
 
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "sparse/layout.hpp"
+
+namespace f3d::tune {
+class Registry;
+}
 
 namespace f3d::cfd {
 
@@ -44,6 +49,13 @@ struct FlowConfig {
   bool reco_single_precision = false;
 
   [[nodiscard]] int nb() const { return num_components(model); }
+
+  /// Register the performance-only discretization knobs (field layout,
+  /// reconstruction-operand precision — Tables 1-2) into the flat tuning
+  /// space under `prefix`. Physics parameters (model, Mach, alpha, order)
+  /// are deliberately NOT knobs: tuning must not change the problem. The
+  /// registry borrows this struct: it must outlive the registry.
+  void bind(tune::Registry& reg, const std::string& prefix = "flow.");
 };
 
 /// Scalar state vector of nb components per vertex in a chosen layout.

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "tune/registry.hpp"
 
 namespace f3d::mesh {
 
@@ -193,6 +194,39 @@ void apply_best_ordering(UnstructuredMesh& mesh) {
   auto perm = rcm_ordering(mesh.vertex_adjacency());
   mesh.permute_vertices(perm);
   mesh.permute_edges(edge_order_sorted(mesh));
+}
+
+void OrderingOptions::bind(tune::Registry& reg, const std::string& prefix) {
+  reg.add_enum(prefix + "vertex_order", &vertex_order,
+               {"as_given", "rcm", "morton"},
+               "vertex renumbering before discretization; controls matrix "
+               "bandwidth / TLB reuse (paper §2.1.3, Table 1)");
+  reg.add_enum(prefix + "edge_order", &edge_order,
+               {"as_given", "sorted", "colored"},
+               "edge traversal order of the flux loop; sorted = the paper's "
+               "cache reordering, colored = the vector-era baseline "
+               "(paper §2.1.3, Table 1)");
+}
+
+void apply_ordering(UnstructuredMesh& mesh, const OrderingOptions& opts) {
+  switch (opts.vertex_order) {
+    case OrderingOptions::VertexOrder::kAsGiven: break;
+    case OrderingOptions::VertexOrder::kRcm:
+      mesh.permute_vertices(rcm_ordering(mesh.vertex_adjacency()));
+      break;
+    case OrderingOptions::VertexOrder::kMorton:
+      mesh.permute_vertices(morton_ordering(mesh));
+      break;
+  }
+  switch (opts.edge_order) {
+    case OrderingOptions::EdgeOrder::kAsGiven: break;
+    case OrderingOptions::EdgeOrder::kSorted:
+      mesh.permute_edges(edge_order_sorted(mesh));
+      break;
+    case OrderingOptions::EdgeOrder::kColored:
+      mesh.permute_edges(edge_order_colored(mesh));
+      break;
+  }
 }
 
 }  // namespace f3d::mesh

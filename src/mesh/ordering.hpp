@@ -13,11 +13,16 @@
 //              (the paper's "NOER" baseline behaves like this);
 //  * random  — worst-case shuffle, for stress tests.
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "mesh/graph.hpp"
 #include "mesh/mesh.hpp"
+
+namespace f3d::tune {
+class Registry;
+}
 
 namespace f3d::mesh {
 
@@ -72,5 +77,32 @@ EdgeColoring edge_color_classes(const UnstructuredMesh& mesh);
 /// Apply RCM vertex ordering + sorted edge ordering in place — the paper's
 /// recommended layout.
 void apply_best_ordering(UnstructuredMesh& mesh);
+
+/// The §2.1.3 layout decisions as a tunable policy: which vertex
+/// renumbering and which edge traversal order to apply to an as-delivered
+/// mesh. apply_ordering() realizes the policy in place; bind() exposes
+/// both choices as enum knobs so the autotuner searches the paper's
+/// Table 1 reordering axis alongside the solver knobs.
+struct OrderingOptions {
+  enum class VertexOrder {
+    kAsGiven,  ///< keep the delivered numbering (the "NOER"-ish baseline)
+    kRcm,      ///< Reverse Cuthill-McKee (the paper's choice)
+    kMorton,   ///< space-filling-curve locality ordering
+  };
+  enum class EdgeOrder {
+    kAsGiven,  ///< keep the delivered edge order
+    kSorted,   ///< lexicographic (tail, head) — the paper's reordering
+    kColored,  ///< vector-machine conflict-free coloring order
+  };
+  VertexOrder vertex_order = VertexOrder::kRcm;
+  EdgeOrder edge_order = EdgeOrder::kSorted;
+
+  /// Register both orderings as enum knobs under `prefix`. The registry
+  /// borrows this struct: it must outlive the registry.
+  void bind(tune::Registry& reg, const std::string& prefix = "mesh.");
+};
+
+/// Permute `mesh` in place per the policy (defaults = apply_best_ordering).
+void apply_ordering(UnstructuredMesh& mesh, const OrderingOptions& opts);
 
 }  // namespace f3d::mesh

@@ -3,12 +3,17 @@
 // solver (GMRES(20) in Table 4; restart dimension is one of the §2.4.2
 // tuning parameters, typical range 10-30).
 
+#include <string>
 #include <vector>
 
 #include "solver/linear.hpp"
 
 namespace f3d::guard {
 class SolveGuard;
+}
+
+namespace f3d::tune {
+class Registry;
 }
 
 namespace f3d::solver {
@@ -52,6 +57,12 @@ struct GmresOptions {
   // the solve cleanly at the next iteration boundary with guard_tripped
   // set (bounded, deterministic cancellation latency).
   guard::SolveGuard* guard = nullptr;
+
+  /// Register the §2.4.2 tuning parameters (restart length, inexactness
+  /// tolerance, iteration cap, orthogonalization mechanism) into the flat
+  /// tuning space under `prefix`. The registry borrows this struct: it
+  /// must outlive the registry.
+  void bind(tune::Registry& reg, const std::string& prefix = "gmres.");
 };
 
 struct GmresResult {

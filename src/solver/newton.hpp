@@ -28,6 +28,10 @@
 #include "solver/precond.hpp"
 #include "sparse/csr.hpp"
 
+namespace f3d::tune {
+class Registry;
+}
+
 namespace f3d::solver {
 
 /// The nonlinear discretization the psi-NKS driver operates on. State
@@ -241,6 +245,13 @@ struct PtcOptions {
   /// Run-to-completion contract: budget, cancellation, stall watchdog,
   /// degradation ladder (defaults = unbounded, everything off).
   PtcGuardOptions guard;
+
+  /// Register the driver's performance knobs (continuation, Krylov choice,
+  /// refresh frequency, subdomain count, operator precision, checkpoint
+  /// interval τ) plus the nested gmres/schwarz knobs into the flat tuning
+  /// space under "ptc." / "gmres." / "schwarz." — see docs/TUNING.md.
+  /// The registry borrows this struct: it must outlive the registry.
+  void bind(tune::Registry& reg);
 };
 
 struct PtcStepRecord {

@@ -11,12 +11,17 @@
 // separately by f3d::par.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "partition/partition.hpp"
 #include "solver/linear.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ilu.hpp"
+
+namespace f3d::tune {
+class Registry;
+}
 
 namespace f3d::solver {
 
@@ -40,6 +45,11 @@ struct SchwarzOptions {
   bool single_precision = false;  ///< store factors in float (Table 2)
   SubdomainSolver subdomain_solver = SubdomainSolver::kIlu;
   int sweeps = 2;        ///< SSOR sweeps when subdomain_solver == kSsor
+
+  /// Register the Schwarz knobs (type, overlap, fill, factor precision,
+  /// subdomain solver, sweeps) into the flat tuning space under `prefix`.
+  /// The registry borrows this struct: it must outlive the registry.
+  void bind(tune::Registry& reg, const std::string& prefix = "schwarz.");
 };
 
 /// Additive Schwarz over a vertex partition of a block (BAIJ) matrix.

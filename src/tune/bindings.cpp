@@ -1,0 +1,30 @@
+#include "tune/bindings.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/simd.hpp"
+#include "exec/pool.hpp"
+#include "tune/registry.hpp"
+
+namespace f3d::tune {
+
+void bind_exec_threads(Registry& reg) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int hi = std::max(4, hw);
+  reg.add_int_fn(
+      "exec.threads", [] { return exec::num_threads(); },
+      [](int v) { exec::set_threads(v); }, 1, hi,
+      "worker thread count of the execution layer; the paper's per-node "
+      "parallel axis (Fig 4 scalability)");
+}
+
+void bind_simd(Registry& reg) {
+  reg.add_bool_fn(
+      "simd.enabled", [] { return simd::enabled(); },
+      [](bool on) { simd::set_enabled(on); },
+      "vectorized flux/SpMV kernels on or off; pinned off in builds "
+      "without the vector backend (paper Table 1 instruction-mix axis)");
+}
+
+}  // namespace f3d::tune

@@ -1,0 +1,20 @@
+#pragma once
+// Process-global knobs — the two tunables that live outside any options
+// struct: the execution-layer thread count (exec::set_threads) and the
+// SIMD kernel toggle (simd::set_enabled). Bound through getter/setter
+// closures so the registry reads and writes the live global state.
+
+namespace f3d::tune {
+
+class Registry;
+
+/// Register "exec.threads" ([1, max(4, hardware_concurrency)]) backed by
+/// exec::num_threads()/set_threads().
+void bind_exec_threads(Registry& reg);
+
+/// Register "simd.enabled" backed by simd::enabled()/set_enabled(). In a
+/// build without the vector backend the setter is pinned off, so the knob
+/// degenerates to a constant — harmless to search.
+void bind_simd(Registry& reg);
+
+}  // namespace f3d::tune

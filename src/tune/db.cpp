@@ -1,0 +1,159 @@
+#include "tune/db.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace f3d::tune {
+
+std::string mesh_class_of(int num_vertices) {
+  if (num_vertices < 4000) return "wing-small";
+  if (num_vertices < 20000) return "wing-medium";
+  if (num_vertices < 200000) return "wing-large";
+  return "wing-xl";
+}
+
+namespace {
+
+const obs::Json* member(const obs::Json& j, const char* key,
+                        obs::Json::Kind kind) {
+  const obs::Json* v = j.find(key);
+  return v != nullptr && v->kind == kind ? v : nullptr;
+}
+
+bool parse_entry(const obs::Json& j, DbEntry& e) {
+  const obs::Json* key = j.find("key");
+  if (key == nullptr || !key->is_object()) return false;
+  const obs::Json* mc = member(*key, "mesh_class", obs::Json::Kind::kString);
+  const obs::Json* isa = member(*key, "host_isa", obs::Json::Kind::kString);
+  const obs::Json* prec = member(*key, "precision", obs::Json::Kind::kString);
+  if (mc == nullptr || isa == nullptr || prec == nullptr) return false;
+  e.key = {mc->s, isa->s, prec->s};
+  const obs::Json* cfg = j.find("config");
+  if (cfg == nullptr || !cfg->is_object() || cfg->members.empty())
+    return false;
+  e.config = *cfg;
+  const obs::Json* score = j.find("score");
+  const obs::Json* base = j.find("baseline_score");
+  if (score == nullptr || base == nullptr) return false;
+  e.score = score->number();
+  e.baseline_score = base->number();
+  if (const obs::Json* s = member(j, "strategy", obs::Json::Kind::kString))
+    e.strategy = s->s;
+  if (const obs::Json* n = member(j, "evaluations", obs::Json::Kind::kInt))
+    e.evaluations = static_cast<int>(n->i);
+  return true;
+}
+
+}  // namespace
+
+Db Db::load(const std::string& path) {
+  Db db;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    db.ok_ = false;
+    db.note_ = path + ": not found (compiled defaults in effect)";
+    return db;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  obs::Json doc;
+  try {
+    doc = obs::parse_json(text.str());
+  } catch (const std::exception& e) {
+    db.ok_ = false;
+    db.note_ = path + ": corrupt (" + e.what() + ")";
+    return db;
+  }
+  const obs::Json* schema = member(doc, "schema", obs::Json::Kind::kString);
+  if (schema == nullptr || schema->s != kTuneDbSchema) {
+    db.ok_ = false;
+    db.note_ = path + ": missing or unexpected schema tag (want " +
+               std::string(kTuneDbSchema) + ")";
+    return db;
+  }
+  const obs::Json* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    db.ok_ = false;
+    db.note_ = path + ": entries array missing";
+    return db;
+  }
+  for (const auto& item : entries->items) {
+    DbEntry e;
+    if (!parse_entry(item, e)) {
+      db.ok_ = false;
+      db.note_ = path + ": malformed entry rejected";
+      db.entries_.clear();
+      return db;
+    }
+    db.put(std::move(e));
+  }
+  db.note_ = path;
+  return db;
+}
+
+bool Db::save(const std::string& path) const {
+  return obs::write_json_file(path, to_json());
+}
+
+obs::Json Db::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", kTuneDbSchema);
+  obs::Json arr = obs::Json::array();
+  for (const auto& e : entries_) {
+    obs::Json key = obs::Json::object();
+    key.set("mesh_class", e.key.mesh_class)
+        .set("host_isa", e.key.host_isa)
+        .set("precision", e.key.precision);
+    obs::Json item = obs::Json::object();
+    item.set("key", std::move(key))
+        .set("config", e.config)
+        .set("score", e.score)
+        .set("baseline_score", e.baseline_score)
+        .set("strategy", e.strategy)
+        .set("evaluations", e.evaluations);
+    arr.push(std::move(item));
+  }
+  doc.set("entries", std::move(arr));
+  return doc;
+}
+
+const DbEntry* Db::lookup(const DbKey& key) const {
+  for (const auto& e : entries_)
+    if (e.key == key) return &e;
+  return nullptr;
+}
+
+void Db::put(DbEntry entry) {
+  for (auto& e : entries_)
+    if (e.key == entry.key) {
+      e = std::move(entry);
+      return;
+    }
+  entries_.push_back(std::move(entry));
+}
+
+bool apply(Registry& reg, const Db& db, const DbKey& key, std::string* note) {
+  const DbEntry* e = db.lookup(key);
+  if (e == nullptr) {
+    if (note != nullptr)
+      *note = "no tuned entry for (" + key.mesh_class + ", " + key.host_isa +
+              ", " + key.precision + "): compiled defaults in effect" +
+              (db.ok() ? "" : " [" + db.note() + "]");
+    return false;
+  }
+  try {
+    reg.from_json(e->config);  // strict: validates before applying
+  } catch (const Error& err) {
+    if (note != nullptr)
+      *note = std::string("tuned entry rejected (") + err.what() +
+              "): compiled defaults in effect";
+    return false;
+  }
+  if (note != nullptr)
+    *note = "tuned entry applied (" + e->strategy + ", score " +
+            std::to_string(e->score) + " vs baseline " +
+            std::to_string(e->baseline_score) + ")";
+  return true;
+}
+
+}  // namespace f3d::tune
