@@ -1,0 +1,106 @@
+// Fleet serving walkthrough: read a batch spec (or build a demo sweep),
+// serve it through the journaled scenario fleet, and print the dashboard.
+//
+//   $ fleet_serve [-spec batch.json] [-workers 4] [-journal fleet.journal]
+//                 [-resume] [-dash fleet_dash.json] [-storm]
+//
+// With `-storm` a seeded fault storm (fragile knob sets + poison work
+// budgets) is injected into the demo sweep so the retry ladder and
+// quarantine path have something to do. Kill the process mid-batch and
+// rerun with `-resume` to watch the journal replay the committed set and
+// finish only the pending scenarios.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "fleet/service.hpp"
+#include "fleet/spec.hpp"
+
+namespace {
+
+f3d::fleet::BatchSpec load_or_demo(const f3d::Options& opts, bool storm) {
+  const std::string path = opts.get_string("spec", "");
+  if (!path.empty()) {
+    std::ifstream in(path, std::ios::binary);
+    F3D_CHECK_MSG(static_cast<bool>(in), "cannot open spec: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return f3d::fleet::BatchSpec::parse(text.str());
+  }
+  auto spec = f3d::fleet::BatchSpec::parse(R"({
+    "schema": "f3d-fleet-batch-v1",
+    "name": "demo-sweep",
+    "seed": 11,
+    "defaults": {"rtol": 1e-4, "max_steps": 80},
+    "sweep": {"vertices": [200],
+              "mach": [0.2, 0.3, 0.4],
+              "alpha_deg": [0.0, 1.0, 2.0, 3.0]}
+  })");
+  if (storm) {
+    for (auto& sc : spec.scenarios) {
+      if (sc.id % 5 == 1) {
+        sc.knobs = f3d::obs::Json::object();
+        sc.knobs.set("ptc.no_such_knob", 1.0);  // rung 1 recovers this
+      } else if (sc.id % 5 == 3) {
+        sc.work_units = 5;  // hopeless budget: quarantined after 3 strikes
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace f3d;
+  Options opts(argc, argv);
+  const bool storm = opts.has("storm");
+
+  fleet::BatchSpec spec;
+  try {
+    spec = load_or_demo(opts, storm);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spec error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("batch '%s': %d scenarios (hash %08x)%s\n", spec.name.c_str(),
+              static_cast<int>(spec.scenarios.size()), spec.content_hash(),
+              storm ? " [fault storm injected]" : "");
+
+  fleet::FleetOptions o;
+  o.workers = opts.get_int("workers", 4);
+  o.journal_path = opts.get_string("journal", "fleet.journal");
+  o.resume = opts.has("resume");
+  o.backoff_base_ms = 1;
+  o.tune_db_path = opts.get_string("tunedb", "");
+
+  fleet::BatchResult res;
+  try {
+    fleet::Service svc(o);
+    res = svc.serve(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("\n%-28s %-11s %-8s %-18s %s\n", "scenario", "status",
+              "attempts", "verdict", "wall s");
+  for (const auto& sc : res.scenarios)
+    std::printf("%-28s %-11s %-8d %-18s %.4f%s\n", sc.name.c_str(),
+                fleet::scenario_status_name(sc.status), sc.attempts,
+                sc.verdict.c_str(), sc.wall_s,
+                sc.replayed ? "  (replayed)" : "");
+  std::printf("\n%d committed, %d quarantined, %d shed, %d cancelled, "
+              "%d pending | %d retries | %.3f s\n",
+              res.committed, res.quarantined, res.shed, res.cancelled,
+              res.pending, res.retries, res.wall_s);
+
+  const std::string dash = opts.get_string("dash", "");
+  if (!dash.empty() && obs::write_json_file(dash, res.to_json()))
+    std::printf("dashboard -> %s\n", dash.c_str());
+  return res.pending == 0 ? 0 : 1;
+}

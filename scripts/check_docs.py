@@ -25,16 +25,26 @@ Checks, in order:
      time never worse than the default (beyond timing noise), a
      bit-identical DB round-trip per cell, and an honest gate_note on
      any cell that retained the compiled defaults.
-  6. Optionally (--tunedb FILE) a persisted tuning database matches the
+  6. BENCH_fleet.json (when committed) carries the scenario-fleet gates:
+     a >= 64-scenario sweep served in the three lanes (clean /
+     storm-none / storm-ladder), the retry ladder completing 100% of
+     non-poison scenarios while quarantining 100% of injected poison,
+     an exactly-once kill-and-restart (zero lost, zero
+     double-committed), clean-lane serving overhead <= 10%, and a
+     deterministic re-run.
+  7. Every committed BENCH_*.json names an experiment registered in
+     KNOWN_EXPERIMENTS below; an unknown experiment with no validator
+     fails the gate rather than sliding through envelope-only.
+  8. Optionally (--tunedb FILE) a persisted tuning database matches the
      f3d-tunedb-v1 schema: the schema tag, an entries array, and per
      entry the (mesh_class, host_isa, precision) key plus a config
      object.
-  7. Optionally (--knobs FILE, a `tuned_solve -dump-knobs` catalog)
+  9. Optionally (--knobs FILE, a `tuned_solve -dump-knobs` catalog)
      every registered knob is documented: each knob's name must appear
      in docs/TUNING.md (or --tuning-md FILE), so adding a knob without
      documenting it fails CI.
-  8. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
-     ROADMAP.md, or docs/*.md.
+  10. No dead relative links in README.md, DESIGN.md, EXPERIMENTS.md,
+      ROADMAP.md, or docs/*.md.
 
 Stdlib only; exits nonzero with one line per problem found.
 """
@@ -73,14 +83,16 @@ def check_bench_report(path, errors):
     if "series" not in doc:
         errors.append(f"{path}: missing series member")
         return
-    if meta.get("experiment") == "failslow":
-        check_failslow_series(path, doc["series"], errors)
-    if meta.get("experiment") == "deadline":
-        check_deadline_series(path, doc["series"], errors)
-    if meta.get("experiment") == "simd":
-        check_simd_series(path, doc["series"], errors)
-    if meta.get("experiment") == "tune":
-        check_tune_series(path, doc["series"], errors)
+    exp = meta.get("experiment")
+    if exp not in KNOWN_EXPERIMENTS:
+        errors.append(
+            f"{path}: experiment {exp!r} has no registered validator - "
+            "register it in KNOWN_EXPERIMENTS (scripts/check_docs.py) so "
+            "its gates are stated explicitly rather than skipped")
+        return
+    validator = KNOWN_EXPERIMENTS[exp]
+    if validator is not None:
+        validator(path, doc["series"], errors)
 
 
 def check_host_isa(path, meta, errors):
@@ -316,6 +328,131 @@ def check_tune_series(path, series, errors):
     if series.get("db_schema") != TUNEDB_SCHEMA:
         errors.append(f"{path}: db_schema is {series.get('db_schema')!r}, "
                       f"expected {TUNEDB_SCHEMA!r}")
+
+
+FLEET_LANES = ("clean", "storm-none", "storm-ladder")
+FLEET_LANE_KEYS = (
+    "name", "completed", "quarantined", "wall_s", "scenarios_per_hour",
+    "p50_latency_s", "p99_latency_s",
+)
+
+
+def check_fleet_series(path, series, errors):
+    """Scenario-fleet gates re-checked from the committed artifact: the
+    retry ladder must demonstrably buy completions over the unmitigated
+    storm, poison must be fully quarantined, the journal must make
+    kill-and-restart exactly-once, and the robustness machinery must be
+    near-free on a clean batch."""
+    if not isinstance(series, dict):
+        errors.append(f"{path}: fleet series must be an object")
+        return
+    n = series.get("scenarios")
+    if not isinstance(n, int) or n < 64:
+        errors.append(f"{path}: scenarios is {n!r}, need a >= 64-scenario "
+                      "sweep")
+    lanes = {}
+    raw = series.get("lanes")
+    if not isinstance(raw, list):
+        errors.append(f"{path}: lanes array missing")
+        raw = []
+    for k, lane in enumerate(raw):
+        missing = [key for key in FLEET_LANE_KEYS
+                   if not isinstance(lane, dict) or key not in lane]
+        if missing:
+            errors.append(f"{path}: lane {k} missing {', '.join(missing)}")
+            continue
+        lanes[lane["name"]] = lane
+        if not isinstance(lane["scenarios_per_hour"], (int, float)) or \
+                lane["scenarios_per_hour"] <= 0:
+            errors.append(f"{path}: lane {lane['name']!r} "
+                          "scenarios_per_hour must be > 0")
+        if isinstance(lane["p50_latency_s"], (int, float)) and \
+                isinstance(lane["p99_latency_s"], (int, float)) and \
+                lane["p50_latency_s"] > lane["p99_latency_s"]:
+            errors.append(f"{path}: lane {lane['name']!r} p50 latency "
+                          "exceeds p99")
+    for name in FLEET_LANES:
+        if name not in lanes:
+            errors.append(f"{path}: lane {name!r} missing")
+    frac = series.get("non_poison_completed_frac_ladder")
+    if frac != 1:
+        errors.append(f"{path}: non_poison_completed_frac_ladder is "
+                      f"{frac!r} - the ladder must complete 100% of "
+                      "non-poison scenarios")
+    injected = series.get("poison_injected")
+    quarantined = series.get("poison_quarantined")
+    if not isinstance(injected, int) or injected < 1:
+        errors.append(f"{path}: poison_injected missing or < 1 - the storm "
+                      "must include poison for the quarantine gate to mean "
+                      "anything")
+    elif quarantined != injected:
+        errors.append(f"{path}: poison_quarantined is {quarantined!r}, "
+                      f"need all {injected} injected poison quarantined")
+    if not isinstance(series.get("fragile_injected"), int) or \
+            series["fragile_injected"] < 1:
+        errors.append(f"{path}: fragile_injected missing or < 1")
+    if "storm-none" in lanes and "storm-ladder" in lanes and \
+            lanes["storm-none"]["completed"] >= \
+            lanes["storm-ladder"]["completed"]:
+        errors.append(f"{path}: storm-none completed "
+                      f"{lanes['storm-none']['completed']} must be below "
+                      f"storm-ladder {lanes['storm-ladder']['completed']} - "
+                      "the ladder must demonstrably buy completions")
+    kill = series.get("kill_restart")
+    if not isinstance(kill, dict):
+        errors.append(f"{path}: kill_restart object missing")
+    else:
+        if not isinstance(kill.get("killed_after"), int) or \
+                kill["killed_after"] < 1:
+            errors.append(f"{path}: kill_restart.killed_after missing or "
+                          "< 1 - the kill must land mid-batch")
+        if kill.get("lost") != 0:
+            errors.append(f"{path}: kill_restart.lost is "
+                          f"{kill.get('lost')!r}, need exactly 0")
+        if kill.get("double_committed") != 0:
+            errors.append(f"{path}: kill_restart.double_committed is "
+                          f"{kill.get('double_committed')!r}, need exactly 0")
+    overhead = series.get("overhead_frac")
+    if not isinstance(overhead, (int, float)) or overhead > 0.10:
+        errors.append(f"{path}: overhead_frac is {overhead!r}, need <= 0.10 "
+                      "- journaling and admission must be near-free on a "
+                      "clean batch")
+    if series.get("deterministic_rerun") is not True:
+        errors.append(f"{path}: deterministic_rerun must be true - fleet "
+                      "results must be bit-identical for a fixed (spec, "
+                      "seed, workers)")
+
+
+# Every committed BENCH_*.json must name one of these experiments. A
+# validator re-checks the experiment's gates from the artifact; None means
+# the experiment has no gates beyond the envelope (figure/table replays
+# whose numbers are judged against the paper in EXPERIMENTS.md, not
+# thresholded here). An experiment absent from this table fails the docs
+# stage outright - new artifacts must state their gates.
+KNOWN_EXPERIMENTS = {
+    "ablation_coarse": None,
+    "ablation_params": None,
+    "ablation_subsolver": None,
+    "availability": None,
+    "deadline": check_deadline_series,
+    "failslow": check_failslow_series,
+    "fig1_asci_red": None,
+    "fig2_machines": None,
+    "fig3_cache_tlb": None,
+    "fig4_partitioning": None,
+    "fig5_cfl": None,
+    "fleet": check_fleet_series,
+    "micro_kernels": None,
+    "sdc": None,
+    "simd": check_simd_series,
+    "table1_layout": None,
+    "table2_precision": None,
+    "table3_bottlenecks": None,
+    "table4_schwarz": None,
+    "table5_hybrid": None,
+    "threading": None,
+    "tune": check_tune_series,
+}
 
 
 def check_tunedb(path, errors):

@@ -26,7 +26,11 @@
 #      threads), then the self-tuning A/B (writes BENCH_tune.json +
 #      build/tune_db.json; exits nonzero when the tuned config is worse
 #      than the compiled defaults or the DB round-trip is not
-#      bit-identical)
+#      bit-identical), then the scenario-fleet storm campaign (writes
+#      BENCH_fleet.json; exits nonzero when the retry ladder misses a
+#      non-poison scenario, poison escapes quarantine, kill-and-restart
+#      loses or double-commits a scenario, clean-lane overhead exceeds
+#      10%, or a re-run is not bit-identical)
 #   3. docs gate: a traced quickstart run must produce a schema-valid
 #      Chrome trace whose phase spans cover >=90% of the solve, every
 #      committed BENCH_*.json must carry the f3d-bench-v1 envelope, the
@@ -85,6 +89,12 @@ ctest --preset release-guard -j "$JOBS" --timeout 120
 echo "=== tune-labelled tests (release) ==="
 ctest --preset release-tune -j "$JOBS"
 
+# Fleet lane: journal replay/truncation sweeps, the retry/quarantine
+# ladder, and admission control. Kill-and-restart tests replay real
+# journals, so a hard TIMEOUT cap keeps a wedged resume from stalling CI.
+echo "=== fleet-labelled tests (release) ==="
+ctest --preset release-fleet -j "$JOBS" --timeout 120
+
 echo "=== thread-scaling bench (BENCH_threading.json) ==="
 ./build/bench/bench_threading -vertices 8000 -reps 3 -out BENCH_threading.json
 
@@ -104,6 +114,9 @@ echo "=== self-tuning A/B (BENCH_tune.json + build/tune_db.json) ==="
 ./build/bench/bench_tune -small 2500 -medium 6000 -width 8 -rungs 2 \
   -db build/tune_db.json -out BENCH_tune.json
 
+echo "=== scenario-fleet storm campaign (BENCH_fleet.json) ==="
+./build/bench/bench_fleet -out BENCH_fleet.json
+
 echo "=== docs gate: trace schema + bench envelopes + markdown links ==="
 F3D_TRACE=1 F3D_TRACE_OUT=build/ci_trace.json ./build/examples/quickstart
 ./build/examples/tuned_solve -dump-knobs > build/knobs.json
@@ -121,6 +134,22 @@ if python3 scripts/check_docs.py --knobs build/knobs.json \
   exit 1
 fi
 
+# Negative control for the unknown-experiment registry: a schema-valid
+# BENCH artifact whose experiment has no registered validator must fail
+# the docs gate rather than slide through envelope-only.
+echo "=== docs gate negative control (unregistered BENCH experiment) ==="
+mkdir -p build/docs_negctl
+cat > build/docs_negctl/BENCH_mystery.json <<'EOF'
+{"meta": {"schema": "f3d-bench-v1", "experiment": "mystery",
+          "host_isa": {"isa": "none", "arch": "x86_64",
+                       "double_lanes": 1, "simd_compiled": false}},
+ "series": {}}
+EOF
+if python3 scripts/check_docs.py --repo build/docs_negctl >/dev/null 2>&1; then
+  echo "ERROR: check_docs.py accepted an unregistered BENCH experiment" >&2
+  exit 1
+fi
+
 echo "=== asan build + resilience-labelled tests ==="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
@@ -128,6 +157,7 @@ ctest --preset asan-resilience -j "$JOBS"
 ctest --preset asan-sdc -j "$JOBS"
 ctest --preset asan-failslow -j "$JOBS"
 ctest --preset asan-tune -j "$JOBS"
+ctest --preset asan-fleet -j "$JOBS" --timeout 240
 
 # UBSan over the explicit SIMD kernels: the memcpy-based pack loads and
 # the float promote paths must be alignment- and aliasing-clean.

@@ -47,14 +47,29 @@ inline void sub_arr(bool use_simd, double* dst, const double* src,
 }
 }  // namespace
 
-EulerDiscretization::EulerDiscretization(const mesh::UnstructuredMesh& mesh,
-                                         FlowConfig cfg)
+std::shared_ptr<const SharedGeometry> SharedGeometry::compute(
+    const mesh::UnstructuredMesh& mesh) {
+  auto g = std::make_shared<SharedGeometry>();
+  g->dual = mesh::compute_dual_metrics(mesh);
+  g->stencil = sparse::stencil_from_mesh(mesh);
+  g->coloring = mesh::edge_color_classes(mesh);
+  g->num_vertices = mesh.num_vertices();
+  return g;
+}
+
+EulerDiscretization::EulerDiscretization(
+    const mesh::UnstructuredMesh& mesh, FlowConfig cfg,
+    std::shared_ptr<const SharedGeometry> shared)
     : mesh_(mesh),
       cfg_(cfg),
-      dual_(mesh::compute_dual_metrics(mesh)),
-      stencil_(sparse::stencil_from_mesh(mesh)),
-      coloring_(mesh::edge_color_classes(mesh)) {
+      geom_(shared != nullptr ? std::move(shared)
+                              : SharedGeometry::compute(mesh)),
+      dual_(geom_->dual),
+      stencil_(geom_->stencil),
+      coloring_(geom_->coloring) {
   F3D_CHECK(cfg_.order == 1 || cfg_.order == 2);
+  F3D_CHECK_MSG(geom_->num_vertices == mesh.num_vertices(),
+                "shared geometry was computed from a different mesh");
   freestream_state(cfg_, qinf_);
 }
 

@@ -14,6 +14,7 @@
 // Jacobian action for Newton-Krylov is matrix-free (finite differencing
 // of this residual), see solver/.
 
+#include <memory>
 #include <vector>
 
 #include "cfd/flux.hpp"
@@ -26,11 +27,33 @@
 
 namespace f3d::cfd {
 
+/// Flow-independent geometry of a discretization: the dual-mesh metrics,
+/// the Jacobian coupling stencil, and the conflict-free edge coloring.
+/// All three depend only on the (ordered) mesh, never on the flow
+/// condition, so a batch of scenarios solving different Mach x AoA cases
+/// on the same mesh can compute them once and share them immutably —
+/// the fleet layer's shared-artifact contract (src/fleet/service.hpp).
+struct SharedGeometry {
+  mesh::DualMetrics dual;
+  sparse::Stencil stencil;
+  mesh::EdgeColoring coloring;
+  int num_vertices = 0;  ///< of the producing mesh (validated on reuse)
+
+  /// Compute from `mesh`, which must not be re-permuted afterwards.
+  [[nodiscard]] static std::shared_ptr<const SharedGeometry> compute(
+      const mesh::UnstructuredMesh& mesh);
+};
+
 class EulerDiscretization {
 public:
   /// Borrows the mesh; the mesh must outlive the discretization and must
-  /// not be re-permuted afterwards (metrics are cached).
-  EulerDiscretization(const mesh::UnstructuredMesh& mesh, FlowConfig cfg);
+  /// not be re-permuted afterwards (metrics are cached). When `shared`
+  /// is given it must have been computed from this exact mesh (vertex
+  /// count is validated; the caller owns the stronger same-mesh claim)
+  /// and the geometry pass is skipped entirely — per-scenario
+  /// construction cost drops to the freestream state.
+  EulerDiscretization(const mesh::UnstructuredMesh& mesh, FlowConfig cfg,
+                      std::shared_ptr<const SharedGeometry> shared = nullptr);
 
   [[nodiscard]] const FlowConfig& config() const { return cfg_; }
   /// Mutable access for parameter continuation (e.g. first -> second
@@ -96,12 +119,21 @@ public:
   /// reporting in the parallel experiments).
   [[nodiscard]] double residual_flops() const;
 
+  /// The shared flow-independent geometry this discretization reads
+  /// (owned here when constructed without one; pass it to further
+  /// discretizations on the same mesh to share it).
+  [[nodiscard]] const std::shared_ptr<const SharedGeometry>& geometry() const {
+    return geom_;
+  }
+
 private:
   const mesh::UnstructuredMesh& mesh_;
   FlowConfig cfg_;
-  mesh::DualMetrics dual_;
-  sparse::Stencil stencil_;
-  mesh::EdgeColoring coloring_;
+  // geom_ must precede the references below (initialization order).
+  std::shared_ptr<const SharedGeometry> geom_;
+  const mesh::DualMetrics& dual_;
+  const sparse::Stencil& stencil_;
+  const mesh::EdgeColoring& coloring_;
   double qinf_[kMaxComponents];
 
   // The second-order path is templated on the reconstruction-operand

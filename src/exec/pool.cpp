@@ -26,6 +26,7 @@ void ThreadPool::spawn(int num_threads) {
   generation_ = 0;
   pending_ = 0;
   body_ = nullptr;
+  job_guard_ = nullptr;
   error_ = nullptr;
   workers_.reserve(nt_ - 1);
   for (int id = 1; id < nt_; ++id)
@@ -56,6 +57,11 @@ void ThreadPool::run_chunk(int id) {
   const std::int64_t lo = begin_ + n * id / participants_;
   const std::int64_t hi = begin_ + n * (id + 1) / participants_;
   tl_in_parallel = true;
+  // Install the dispatching thread's guard on this worker so the chunk's
+  // poll points see it (the active guard is thread-local; see
+  // guard/guard.hpp). On the dispatching thread itself this is a no-op
+  // swap of the same pointer.
+  guard::GuardScope guard_scope(job_guard_);
   try {
     // Cooperative cancellation boundary: a tripped guard abandons the
     // chunk before it starts. The throw is captured below and rethrown on
@@ -110,6 +116,7 @@ void ThreadPool::parallel_for(
     begin_ = begin;
     end_ = end;
     participants_ = static_cast<int>(p);
+    job_guard_ = guard::active_guard();
     error_ = nullptr;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
@@ -119,6 +126,7 @@ void ThreadPool::parallel_for(
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return pending_ == 0; });
   body_ = nullptr;
+  job_guard_ = nullptr;
   if (error_) {
     auto e = error_;
     error_ = nullptr;

@@ -24,6 +24,10 @@
 #include <thread>
 #include <vector>
 
+namespace f3d::guard {
+class SolveGuard;
+}
+
 namespace f3d::exec {
 
 class ThreadPool {
@@ -62,10 +66,14 @@ private:
   int pending_ = 0;
   bool stop_ = false;
 
-  // Published job (valid while a parallel_for is in flight).
+  // Published job (valid while a parallel_for is in flight). job_guard_
+  // is the dispatching thread's active SolveGuard, installed thread-
+  // locally on each worker for the duration of its chunk so cancellation
+  // polls inside the body observe the driver's guard (guard/guard.hpp).
   const std::function<void(std::int64_t, std::int64_t)>* body_ = nullptr;
   std::int64_t begin_ = 0, end_ = 0;
   int participants_ = 0;
+  guard::SolveGuard* job_guard_ = nullptr;
   std::exception_ptr error_;
 };
 

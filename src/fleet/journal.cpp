@@ -1,0 +1,233 @@
+#include "fleet/journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace f3d::fleet {
+
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x464C4A4Cu;   // "FLJL"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFrameMagic = 0x46524D45u;  // "FRME"
+// A frame payload is type + id + attempt + detail-length + detail; cap
+// the detail so a corrupt length field can't drive a huge allocation.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k)
+    out.push_back(static_cast<char>((v >> (8 * k)) & 0xFFu));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::string encode_payload(const JournalRecord& rec) {
+  std::string p;
+  p.push_back(static_cast<char>(rec.type));
+  put_u32(p, static_cast<std::uint32_t>(rec.scenario_id));
+  put_u32(p, static_cast<std::uint32_t>(rec.attempt));
+  put_u32(p, static_cast<std::uint32_t>(rec.detail.size()));
+  p.append(rec.detail);
+  return p;
+}
+
+bool decode_payload(const std::string& p, JournalRecord& rec) {
+  if (p.size() < 13) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(p.data());
+  const auto t = static_cast<std::uint8_t>(b[0]);
+  if (t < 1 || t > 6) return false;
+  rec.type = static_cast<RecordType>(t);
+  rec.scenario_id = static_cast<int>(get_u32(b + 1));
+  rec.attempt = static_cast<int>(get_u32(b + 5));
+  const std::uint32_t dlen = get_u32(b + 9);
+  if (p.size() != 13 + static_cast<std::size_t>(dlen)) return false;
+  rec.detail.assign(p, 13, dlen);
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> JournalState::pending(int num_scenarios) const {
+  std::vector<int> out;
+  for (int id = 0; id < num_scenarios; ++id)
+    if (!is_terminal(id)) out.push_back(id);
+  return out;
+}
+
+struct Journal::Impl {
+  std::FILE* f = nullptr;
+  std::mutex mu;
+};
+
+Journal::Journal(const std::string& path) : impl_(new Impl), path_(path) {}
+
+Journal::Journal(Journal&& other) noexcept
+    : impl_(other.impl_), path_(std::move(other.path_)) {
+  other.impl_ = nullptr;
+}
+
+Journal::~Journal() {
+  if (impl_ != nullptr) {
+    if (impl_->f != nullptr) std::fclose(impl_->f);
+    delete impl_;
+  }
+}
+
+Journal Journal::create(const std::string& path, std::uint32_t batch_hash,
+                        const std::string& batch_name) {
+  Journal j(path);
+  j.impl_->f = std::fopen(path.c_str(), "wb");
+  if (j.impl_->f == nullptr)
+    throw Error("fleet journal: cannot create " + path);
+  std::string header;
+  put_u32(header, kFileMagic);
+  put_u32(header, kVersion);
+  put_u32(header, batch_hash);
+  if (std::fwrite(header.data(), 1, header.size(), j.impl_->f) !=
+      header.size())
+    throw Error("fleet journal: header write failed for " + path);
+  JournalRecord meta;
+  meta.type = RecordType::kBatchMeta;
+  meta.scenario_id = -1;
+  meta.detail = batch_name;
+  j.append(meta);
+  return j;
+}
+
+Journal Journal::append_to(const std::string& path, std::uint32_t batch_hash) {
+  // Validate the header (and implicitly existence) before appending.
+  JournalState state = replay(path);
+  if (state.batch_hash != batch_hash)
+    throw Error("fleet journal: " + path +
+                " was written for a different batch spec (hash mismatch)");
+  Journal j(path);
+  // "ab" appends past whatever replay accepted; a torn tail frame is
+  // rendered harmless because replay stops at it forever after — but to
+  // keep the file canonical we truncate the torn bytes first.
+  if (state.bytes_discarded > 0) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw Error("fleet journal: cannot reopen " + path);
+    std::fseek(f, 0, SEEK_END);
+    const long total = std::ftell(f);
+    std::fclose(f);
+    const long keep = total - static_cast<long>(state.bytes_discarded);
+    // No std::filesystem dependency here: rewrite the kept prefix.
+    std::string prefix(static_cast<std::size_t>(keep), '\0');
+    f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr || std::fread(prefix.data(), 1, prefix.size(), f) !=
+                            prefix.size()) {
+      if (f != nullptr) std::fclose(f);
+      throw Error("fleet journal: torn-tail truncation read failed");
+    }
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr || std::fwrite(prefix.data(), 1, prefix.size(), f) !=
+                            prefix.size()) {
+      if (f != nullptr) std::fclose(f);
+      throw Error("fleet journal: torn-tail truncation write failed");
+    }
+    std::fclose(f);
+  }
+  j.impl_->f = std::fopen(path.c_str(), "ab");
+  if (j.impl_->f == nullptr)
+    throw Error("fleet journal: cannot open " + path + " for append");
+  return j;
+}
+
+void Journal::append(const JournalRecord& rec) {
+  const std::string payload = encode_payload(rec);
+  std::string frame;
+  put_u32(frame, kFrameMagic);
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (std::fwrite(frame.data(), 1, frame.size(), impl_->f) != frame.size() ||
+      std::fflush(impl_->f) != 0)
+    throw Error("fleet journal: append failed for " + path_);
+}
+
+JournalState Journal::replay(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw Error("fleet journal: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long fsize = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<std::size_t>(fsize < 0 ? 0 : fsize), '\0');
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    throw Error("fleet journal: read failed for " + path);
+  }
+  std::fclose(f);
+
+  JournalState state;
+  if (bytes.size() < 12)
+    throw Error("fleet journal: " + path + " has no valid header");
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (get_u32(base) != kFileMagic)
+    throw Error("fleet journal: " + path + " is not a fleet journal");
+  if (get_u32(base + 4) != kVersion)
+    throw Error("fleet journal: " + path + " has an unsupported version");
+  state.batch_hash = get_u32(base + 8);
+
+  std::size_t off = 12;
+  while (off < bytes.size()) {
+    // Any structural defect from here on is a torn tail: count the
+    // remainder as discarded and stop. Only invariant violations in
+    // frames that *pass* their CRC are hard errors.
+    if (bytes.size() - off < 12) break;
+    const unsigned char* p = base + off;
+    if (get_u32(p) != kFrameMagic) break;
+    const std::uint32_t crc = get_u32(p + 4);
+    const std::uint32_t len = get_u32(p + 8);
+    if (len > kMaxPayload || bytes.size() - off - 12 < len) break;
+    const std::string payload = bytes.substr(off + 12, len);
+    if (crc32(payload.data(), payload.size()) != crc) break;
+    JournalRecord rec;
+    if (!decode_payload(payload, rec)) break;
+
+    switch (rec.type) {
+      case RecordType::kBatchMeta:
+        state.batch_name = rec.detail;
+        break;
+      case RecordType::kStart: {
+        int& n = state.attempts_started[rec.scenario_id];
+        if (rec.attempt + 1 > n) n = rec.attempt + 1;
+        break;
+      }
+      case RecordType::kCommit:
+      case RecordType::kQuarantine:
+      case RecordType::kShed:
+      case RecordType::kCancel: {
+        if (state.is_terminal(rec.scenario_id))
+          throw Error("fleet journal: scenario " +
+                      std::to_string(rec.scenario_id) +
+                      " has two terminal frames");
+        std::set<int>& dst = rec.type == RecordType::kCommit ? state.committed
+                             : rec.type == RecordType::kQuarantine
+                                 ? state.quarantined
+                             : rec.type == RecordType::kShed ? state.shed
+                                                             : state.cancelled;
+        dst.insert(rec.scenario_id);
+        state.terminal_detail[rec.scenario_id] = rec.detail;
+        break;
+      }
+    }
+    ++state.frames_replayed;
+    off += 12 + len;
+  }
+  state.bytes_discarded = bytes.size() - off;
+  return state;
+}
+
+}  // namespace f3d::fleet

@@ -1,0 +1,119 @@
+#pragma once
+// fleet::Journal — the append-only, CRC-framed scenario journal that
+// makes a batch run restartable. Every scheduling decision that must
+// survive a crash is a frame: scenario started, scenario committed
+// (solved and its result durable in the caller's sense), scenario
+// quarantined as poison, scenario shed by admission control, scenario
+// cancelled by a supersede. Replay of a (possibly truncated) journal
+// yields exactly the set of terminal decisions that were fully written;
+// a frame cut mid-write by a kill fails its CRC and is discarded along
+// with everything after it.
+//
+// On-disk layout (all integers little-endian):
+//   file header:  u32 kFileMagic, u32 kVersion, u32 batch content_hash
+//   frame:        u32 kFrameMagic, u32 crc32(payload), u32 length, payload
+//   payload:      u8 RecordType, u32 scenario id, u32 attempt,
+//                 u32 detail length, detail bytes (UTF-8, record-specific)
+//
+// Execution semantics built on top (src/fleet/service.cpp): kStart is
+// written before a solve begins and kCommit after it finishes, so a kill
+// between the two re-runs the scenario on resume — at-least-once
+// execution, exactly-once commit. That is safe because scenario solves
+// are deterministic: the re-run reproduces the identical solution.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace f3d::fleet {
+
+enum class RecordType : std::uint8_t {
+  kBatchMeta = 1,   ///< detail = batch name (first frame of every journal)
+  kStart = 2,       ///< attempt began; non-terminal
+  kCommit = 3,      ///< terminal: solved, result durable
+  kQuarantine = 4,  ///< terminal: declared poison after the retry ladder
+  kShed = 5,        ///< terminal: rejected by admission control
+  kCancel = 6,      ///< terminal: superseded before completing
+};
+
+struct JournalRecord {
+  RecordType type = RecordType::kStart;
+  int scenario_id = -1;
+  int attempt = 0;
+  std::string detail;  ///< verdict / post-mortem text, record-specific
+};
+
+/// Everything replay can recover from a journal file. Scenario ids only
+/// appear in one terminal set (later terminal frames for an id already
+/// terminal are a corruption and fail the replay).
+struct JournalState {
+  std::uint32_t batch_hash = 0;  ///< from the file header
+  std::string batch_name;        ///< from the kBatchMeta frame
+  std::set<int> committed;
+  std::set<int> quarantined;
+  std::set<int> shed;
+  std::set<int> cancelled;
+  /// Attempts started per scenario (kStart frames seen), survives for
+  /// resume so the retry ladder continues where it left off.
+  std::map<int, int> attempts_started;
+  /// Detail text of each terminal frame (commit verdict + solution CRC,
+  /// quarantine post-mortem, shed/cancel reason).
+  std::map<int, std::string> terminal_detail;
+  std::size_t frames_replayed = 0;
+  /// Bytes of torn tail discarded (0 on a cleanly closed journal).
+  std::size_t bytes_discarded = 0;
+
+  [[nodiscard]] bool is_terminal(int id) const {
+    return committed.count(id) != 0 || quarantined.count(id) != 0 ||
+           shed.count(id) != 0 || cancelled.count(id) != 0;
+  }
+  /// Ids in [0, num_scenarios) with no terminal frame — the exact set a
+  /// resumed fleet must still decide.
+  [[nodiscard]] std::vector<int> pending(int num_scenarios) const;
+};
+
+/// Append-only writer. Thread-safe: fleet workers commit concurrently
+/// through one Journal instance; each append is written and flushed under
+/// a mutex so frames never interleave.
+class Journal {
+public:
+  /// Create (truncate) a new journal bound to `batch_hash`, writing the
+  /// file header and the kBatchMeta frame. Throws f3d::Error on I/O
+  /// failure.
+  static Journal create(const std::string& path, std::uint32_t batch_hash,
+                        const std::string& batch_name);
+
+  /// Open an existing journal for appending (after replay). Validates the
+  /// header against `batch_hash` — resuming a journal against a different
+  /// batch spec is refused.
+  static Journal append_to(const std::string& path, std::uint32_t batch_hash);
+
+  /// Replay `path`, stopping at the first torn/corrupt frame; the torn
+  /// tail is counted in bytes_discarded, never trusted. Throws f3d::Error
+  /// when the file is missing, the header itself is unreadable, or the
+  /// frame stream violates the terminal-once invariant.
+  static JournalState replay(const std::string& path);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&&) = delete;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Append one frame and flush it to the OS. Throws f3d::Error on I/O
+  /// failure (a journal that cannot persist decisions must stop the
+  /// fleet, not silently drop them).
+  void append(const JournalRecord& rec);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  explicit Journal(const std::string& path);
+  struct Impl;
+  Impl* impl_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace f3d::fleet

@@ -1,0 +1,205 @@
+#include "fleet/spec.hpp"
+
+#include <cstdio>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace f3d::fleet {
+
+namespace {
+
+double number_or(const obs::Json& j, const char* key, double def) {
+  const obs::Json* v = j.find(key);
+  if (v == nullptr) return def;
+  if (v->kind != obs::Json::Kind::kInt && v->kind != obs::Json::Kind::kDouble)
+    throw Error(std::string("fleet spec: ") + key + " must be a number");
+  return v->number();
+}
+
+long long int_or(const obs::Json& j, const char* key, long long def) {
+  const obs::Json* v = j.find(key);
+  if (v == nullptr) return def;
+  if (v->kind != obs::Json::Kind::kInt)
+    throw Error(std::string("fleet spec: ") + key + " must be an integer");
+  return v->i;
+}
+
+std::vector<double> number_list(const obs::Json& j, const char* key,
+                                std::vector<double> def) {
+  const obs::Json* v = j.find(key);
+  if (v == nullptr) return def;
+  if (!v->is_array() || v->items.empty())
+    throw Error(std::string("fleet spec: ") + key +
+                " must be a non-empty array");
+  std::vector<double> out;
+  for (const auto& item : v->items) {
+    if (item.kind != obs::Json::Kind::kInt &&
+        item.kind != obs::Json::Kind::kDouble)
+      throw Error(std::string("fleet spec: ") + key +
+                  " entries must be numbers");
+    out.push_back(item.number());
+  }
+  return out;
+}
+
+std::string default_name(const ScenarioSpec& sc) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "v%d-m%.3f-a%.2f", sc.vertices, sc.mach,
+                sc.alpha_deg);
+  return buf;
+}
+
+/// Fill a ScenarioSpec's overridable fields from a JSON object, with
+/// `base` supplying the defaults. Physics, contract, and fleet metadata
+/// only — ids are assigned by the expansion, never by the document.
+ScenarioSpec scenario_from_json(const obs::Json& j, const ScenarioSpec& base) {
+  ScenarioSpec sc = base;
+  sc.vertices = static_cast<int>(int_or(j, "vertices", base.vertices));
+  sc.mach = number_or(j, "mach", base.mach);
+  sc.alpha_deg = number_or(j, "alpha_deg", base.alpha_deg);
+  sc.rtol = number_or(j, "rtol", base.rtol);
+  sc.max_steps = static_cast<int>(int_or(j, "max_steps", base.max_steps));
+  sc.work_units = int_or(j, "work_units", base.work_units);
+  sc.wall_deadline_s = number_or(j, "wall_deadline_s", base.wall_deadline_s);
+  sc.priority = static_cast<int>(int_or(j, "priority", base.priority));
+  sc.supersedes = static_cast<int>(int_or(j, "supersedes", -1));
+  sc.delay_ms = number_or(j, "delay_ms", 0.0);
+  if (const obs::Json* name = j.find("name")) {
+    if (!name->is_string())
+      throw Error("fleet spec: scenario name must be a string");
+    sc.name = name->s;
+  }
+  if (const obs::Json* knobs = j.find("knobs")) {
+    if (!knobs->is_object())
+      throw Error("fleet spec: scenario knobs must be an object");
+    sc.knobs = *knobs;
+  }
+  if (sc.vertices < 8) throw Error("fleet spec: vertices must be >= 8");
+  if (sc.max_steps < 1) throw Error("fleet spec: max_steps must be >= 1");
+  if (!(sc.rtol > 0)) throw Error("fleet spec: rtol must be > 0");
+  return sc;
+}
+
+}  // namespace
+
+obs::Json ScenarioSpec::to_json() const {
+  obs::Json j = obs::Json::object();
+  j.set("id", static_cast<long long>(id))
+      .set("name", name)
+      .set("vertices", static_cast<long long>(vertices))
+      .set("mach", mach)
+      .set("alpha_deg", alpha_deg)
+      .set("rtol", rtol)
+      .set("max_steps", static_cast<long long>(max_steps))
+      .set("work_units", work_units)
+      .set("wall_deadline_s", wall_deadline_s)
+      .set("priority", static_cast<long long>(priority))
+      .set("supersedes", static_cast<long long>(supersedes))
+      .set("delay_ms", delay_ms);
+  if (knobs.is_object()) j.set("knobs", knobs);
+  return j;
+}
+
+BatchSpec BatchSpec::from_json(const obs::Json& doc) {
+  if (!doc.is_object()) throw Error("fleet spec: document must be an object");
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->s != kBatchSchema)
+    throw Error(std::string("fleet spec: schema must be \"") + kBatchSchema +
+                "\"");
+  for (const auto& [key, value] : doc.members) {
+    (void)value;
+    if (key != "schema" && key != "name" && key != "seed" &&
+        key != "defaults" && key != "sweep" && key != "scenarios")
+      throw Error("fleet spec: unknown top-level member \"" + key + "\"");
+  }
+
+  BatchSpec spec;
+  if (const obs::Json* name = doc.find("name")) {
+    if (!name->is_string()) throw Error("fleet spec: name must be a string");
+    spec.name = name->s;
+  }
+  spec.seed = static_cast<unsigned>(int_or(doc, "seed", 1));
+
+  ScenarioSpec base;
+  if (const obs::Json* defaults = doc.find("defaults")) {
+    if (!defaults->is_object())
+      throw Error("fleet spec: defaults must be an object");
+    base = scenario_from_json(*defaults, base);
+    if (base.supersedes != -1 || base.knobs.is_object() || base.delay_ms != 0)
+      throw Error(
+          "fleet spec: defaults may not carry supersedes/knobs/delay_ms");
+  }
+
+  // Sweep expansion: vertices outermost, then mach, then alpha — a fixed
+  // order so ids are reproducible from the spec text alone.
+  if (const obs::Json* sweep = doc.find("sweep")) {
+    if (!sweep->is_object()) throw Error("fleet spec: sweep must be an object");
+    const std::vector<double> verts = number_list(
+        *sweep, "vertices", {static_cast<double>(base.vertices)});
+    const std::vector<double> machs = number_list(*sweep, "mach", {base.mach});
+    const std::vector<double> alphas =
+        number_list(*sweep, "alpha_deg", {base.alpha_deg});
+    for (double v : verts)
+      for (double m : machs)
+        for (double a : alphas) {
+          ScenarioSpec sc = base;
+          sc.vertices = static_cast<int>(v);
+          sc.mach = m;
+          sc.alpha_deg = a;
+          spec.scenarios.push_back(sc);
+        }
+  }
+
+  if (const obs::Json* list = doc.find("scenarios")) {
+    if (!list->is_array())
+      throw Error("fleet spec: scenarios must be an array");
+    for (const auto& item : list->items) {
+      if (!item.is_object())
+        throw Error("fleet spec: scenario entries must be objects");
+      spec.scenarios.push_back(scenario_from_json(item, base));
+    }
+  }
+
+  if (spec.scenarios.empty())
+    throw Error("fleet spec: no scenarios (need a sweep or a scenarios list)");
+
+  for (std::size_t i = 0; i < spec.scenarios.size(); ++i) {
+    ScenarioSpec& sc = spec.scenarios[i];
+    sc.id = static_cast<int>(i);
+    if (sc.name.empty()) sc.name = default_name(sc);
+    if (sc.supersedes >= 0 &&
+        (sc.supersedes >= sc.id ||
+         static_cast<std::size_t>(sc.supersedes) >= spec.scenarios.size()))
+      throw Error("fleet spec: supersedes must name an earlier scenario id");
+  }
+  return spec;
+}
+
+BatchSpec BatchSpec::parse(const std::string& text) {
+  obs::Json doc;
+  try {
+    doc = obs::parse_json(text);
+  } catch (const std::exception& e) {
+    throw Error(std::string("fleet spec: invalid JSON (") + e.what() + ")");
+  }
+  return from_json(doc);
+}
+
+obs::Json BatchSpec::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", kBatchSchema)
+      .set("name", name)
+      .set("seed", static_cast<long long>(seed));
+  obs::Json arr = obs::Json::array();
+  for (const auto& sc : scenarios) arr.push(sc.to_json());
+  doc.set("scenarios", std::move(arr));
+  return doc;
+}
+
+std::uint32_t BatchSpec::content_hash() const {
+  const std::string text = to_json().dump();
+  return crc32(text.data(), text.size());
+}
+
+}  // namespace f3d::fleet

@@ -1,0 +1,80 @@
+#pragma once
+// fleet::BatchSpec — the JSON batch specification of a scenario sweep
+// (schema f3d-fleet-batch-v1) and its deterministic expansion into a
+// flat scenario list. The paper's tuning methodology is "run many solver
+// configurations against the same mesh"; a batch spec is the serving
+// form of that: a Mach x AoA x mesh-class cross product plus optional
+// explicit scenarios with per-scenario knob overrides, budgets,
+// priorities and supersede directives.
+//
+// Determinism contract: expansion order is a pure function of the spec
+// text (mesh classes outermost, then Mach, then alpha, then the explicit
+// scenarios in listed order), ids are assigned densely in that order,
+// and content_hash() covers the fully expanded list — the journal binds
+// a run to that hash so a resumed fleet can never replay one spec's
+// journal against a different batch.
+//
+// Spec document shape (all members except "schema" optional):
+//   {
+//     "schema": "f3d-fleet-batch-v1",
+//     "name": "wing-sweep",
+//     "seed": 1,                       // mesh shuffle seed
+//     "defaults": {"rtol": 1e-5, "max_steps": 80,
+//                   "work_units": 60000, "wall_deadline_s": 0},
+//     "sweep": {"vertices": [800], "mach": [0.2, 0.3],
+//                "alpha_deg": [0, 2, 4]},
+//     "scenarios": [ {"vertices": 800, "mach": 0.5, "alpha_deg": 1,
+//                      "priority": 5, "supersedes": 3, "delay_ms": 0,
+//                      "knobs": {"ptc.cfl0": 40.0}} ]
+//   }
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace f3d::fleet {
+
+inline constexpr const char* kBatchSchema = "f3d-fleet-batch-v1";
+
+/// One fully expanded scenario. Physics (mach, alpha, mesh class) plus
+/// the per-scenario solve contract (tolerance, budgets) and fleet
+/// metadata (priority, supersede target, injected straggle).
+struct ScenarioSpec {
+  int id = -1;             ///< dense index in expansion order
+  std::string name;        ///< human label, derived when not given
+  int vertices = 800;      ///< mesh-class size (shared-artifact key)
+  double mach = 0.3;
+  double alpha_deg = 2.0;
+  double rtol = 1e-5;
+  int max_steps = 80;
+  long long work_units = 0;    ///< guard work budget (0 = batch default)
+  double wall_deadline_s = 0;  ///< per-scenario wall deadline (0 = none)
+  int priority = 0;            ///< higher schedules earlier
+  int supersedes = -1;         ///< id of an earlier scenario to cancel
+  double delay_ms = 0;         ///< injected worker straggle (fault storms)
+  obs::Json knobs;             ///< flat tune-registry overrides (may be null)
+
+  [[nodiscard]] obs::Json to_json() const;
+};
+
+struct BatchSpec {
+  std::string name = "batch";
+  unsigned seed = 1;  ///< mesh shuffle seed (shared-artifact determinism)
+  std::vector<ScenarioSpec> scenarios;  ///< expanded; index == id
+
+  /// Strict parse + expansion; throws f3d::Error on a missing/mismatched
+  /// schema tag, a malformed member, or an unknown top-level key.
+  [[nodiscard]] static BatchSpec from_json(const obs::Json& doc);
+  [[nodiscard]] static BatchSpec parse(const std::string& text);
+
+  /// Canonical JSON of the *expanded* batch (not the sweep shorthand).
+  [[nodiscard]] obs::Json to_json() const;
+
+  /// CRC-32 of the canonical dump — the identity the scenario journal
+  /// records and validates on resume.
+  [[nodiscard]] std::uint32_t content_hash() const;
+};
+
+}  // namespace f3d::fleet

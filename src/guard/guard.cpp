@@ -96,18 +96,22 @@ void SolveGuard::trip(TripReason reason) {
 }
 
 namespace {
-// Process-global, like the resilience layer's active injector: a solve is
-// one logical operation even when its kernels fan out across the pool, so
-// worker threads must observe the driver's guard (thread_local would hide
-// it from them).
-SolveGuard* g_active_guard = nullptr;
+// Thread-local, so concurrent guarded solves (the fleet layer runs one
+// scenario per worker thread) each see only their own guard — a budget
+// trip in scenario A must never cancel scenario B, and the pointer
+// itself must not be a data race. A solve that fans its kernels out
+// across the exec pool is still one logical operation: the pool captures
+// the dispatching thread's active guard and installs it on each worker
+// for the duration of the chunk (exec/pool.cpp), so pool workers observe
+// the driver's guard exactly as they did when this was process-global.
+thread_local SolveGuard* tl_active_guard = nullptr;
 }  // namespace
 
-SolveGuard* active_guard() { return g_active_guard; }
+SolveGuard* active_guard() { return tl_active_guard; }
 
 SolveGuard* set_active_guard(SolveGuard* g) {
-  SolveGuard* previous = g_active_guard;
-  g_active_guard = g;
+  SolveGuard* previous = tl_active_guard;
+  tl_active_guard = g;
   return previous;
 }
 

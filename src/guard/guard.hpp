@@ -203,10 +203,14 @@ class CancelledError : public Error {
   TripReason reason_;
 };
 
-/// Process-global active guard, registered for a solve's duration so deep
+/// Thread-local active guard, registered for a solve's duration so deep
 /// layers (exec chunks, ILU application, flux kernels) see it without
-/// threading it through every signature — same idiom as the resilience
-/// layer's InjectorScope.
+/// threading it through every signature. Thread-local (not process-wide)
+/// so concurrent guarded solves on different threads — the fleet layer's
+/// scenario workers — are fully isolated from each other; the exec pool
+/// propagates the dispatching thread's guard to its workers for the
+/// duration of each parallel_for, so a threaded solve still behaves as
+/// one guarded operation.
 [[nodiscard]] SolveGuard* active_guard();
 SolveGuard* set_active_guard(SolveGuard* g);
 

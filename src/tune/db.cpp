@@ -1,5 +1,9 @@
 #include "tune/db.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -92,7 +96,30 @@ Db Db::load(const std::string& path) {
 }
 
 bool Db::save(const std::string& path) const {
-  return obs::write_json_file(path, to_json());
+  // Atomic publish: write a unique temp file next to the target, flush,
+  // then rename over it. A reader (or a concurrent writer's load) sees
+  // either the old complete file or the new complete file, never a torn
+  // prefix — the invariant the fleet relies on when scenario workers
+  // consult the DB while a tuning campaign saves it.
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<unsigned long>(getpid())) +
+                          "." + std::to_string(counter.fetch_add(1));
+  const std::string text = to_json().dump() + "\n";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool written =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || !written) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 obs::Json Db::to_json() const {
